@@ -1,0 +1,99 @@
+// Command dgbench runs the reproduction experiment suite — one experiment
+// per cell of the paper's Figure 1 plus lemma checks and ablations — and
+// prints the measured tables next to the paper's claims.
+//
+// Examples:
+//
+//	dgbench                    # quick suite (seconds)
+//	dgbench -full              # full suite (regenerates EXPERIMENTS.md data)
+//	dgbench -run F1-online     # only matching experiment ids
+//	dgbench -csv               # tables as CSV
+//	dgbench -markdown          # EXPERIMENTS.md-style output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
+	var (
+		full     = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
+		filter   = fs.String("run", "", "only run experiments whose id contains this substring")
+		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
+		csv      = fs.Bool("csv", false, "emit tables as CSV")
+		markdown = fs.Bool("markdown", false, "emit EXPERIMENTS.md-style markdown")
+		plot     = fs.Bool("plot", false, "render scaling curves as log-log ASCII plots")
+		seed     = fs.Uint64("seed", 0, "base seed offset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: !*full, Trials: *trials, BaseSeed: *seed}
+
+	all := experiments.All()
+	ran, failed := 0, 0
+	for _, e := range all {
+		if *filter != "" && !strings.Contains(e.ID, *filter) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ran++
+		if !res.Pass {
+			failed++
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch {
+		case *markdown:
+			fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
+			fmt.Printf("Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
+			for _, n := range res.Notes {
+				fmt.Printf("- %s\n", n)
+			}
+			fmt.Printf("\n")
+		case *csv:
+			fmt.Printf("# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
+		default:
+			fmt.Printf("=== %s — %s  [%v]\n", res.ID, res.Title, elapsed)
+			fmt.Printf("paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
+			for _, n := range res.Notes {
+				fmt.Printf("  %s\n", n)
+			}
+			if *plot && len(res.Series) > 0 {
+				p := viz.NewPlot(56, 12)
+				p.LogX, p.LogY = true, true
+				for _, s := range res.Series {
+					p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
+				}
+				fmt.Printf("\nscaling (log-log):\n%s", p.Render())
+			}
+			fmt.Printf("\n")
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches -run %q", *filter)
+	}
+	fmt.Printf("%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d experiments deviated from the paper's claims", failed)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunFilteredQuick(t *testing.T) {
+	// L3.2 is the fastest experiment; a filtered quick run exercises the
+	// whole pipeline.
+	if err := run([]string{"-run", "L3.2", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdownAndCSV(t *testing.T) {
+	if err := run([]string{"-run", "L3.2", "-trials", "2", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "L3.2", "-trials", "2", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFilter(t *testing.T) {
+	if err := run([]string{"-run", "no-such-experiment"}); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command dghitting plays the β-hitting game of the paper's lower-bound
+// machinery: directly with the uniform/sweep players, or through the
+// Theorem 3.1 reduction by simulating a broadcast algorithm on the dual
+// clique.
+//
+// Examples:
+//
+//	dghitting -beta 64 -player uniform -trials 1000
+//	dghitting -beta 64 -player simulate -alg decay-global
+//	dghitting -beta 128 -player simulate -alg round-robin -problem local
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/hitting"
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dghitting:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dghitting", flag.ContinueOnError)
+	var (
+		beta    = fs.Int("beta", 64, "game size β")
+		player  = fs.String("player", "uniform", "player: uniform, sweep, simulate")
+		algName = fs.String("alg", "decay-global", "algorithm for -player simulate: decay-global, round-robin")
+		problem = fs.String("problem", "global", "problem for -player simulate: global or local")
+		trials  = fs.Int("trials", 200, "independent games to play")
+		budget  = fs.Int("budget", 0, "guess budget per game (0 = 4β² for direct players, 2^22 for simulate)")
+		seed    = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *beta < 2 {
+		return fmt.Errorf("beta must be ≥ 2")
+	}
+
+	mkPlayer, err := playerFactory(*player, *algName, *problem, *beta, *seed)
+	if err != nil {
+		return err
+	}
+	maxGuesses := *budget
+	if maxGuesses <= 0 {
+		maxGuesses = 4 * *beta * *beta
+		if *player == "simulate" {
+			maxGuesses = 1 << 22
+		}
+	}
+
+	rng := bitrand.New(*seed)
+	wins := 0
+	var guesses, simRounds []float64
+	for trial := 0; trial < *trials; trial++ {
+		target := rng.Intn(*beta)
+		out := hitting.Play(*beta, target, maxGuesses, mkPlayer(uint64(trial)), rng)
+		if out.Won {
+			wins++
+			guesses = append(guesses, float64(out.Guesses))
+			if out.SimRounds > 0 {
+				simRounds = append(simRounds, float64(out.SimRounds))
+			}
+		}
+	}
+
+	fmt.Printf("player %s  β=%d  trials=%d  budget=%d\n", *player, *beta, *trials, maxGuesses)
+	fmt.Printf("wins   %d/%d (%.1f%%)\n", wins, *trials, 100*float64(wins)/float64(*trials))
+	if len(guesses) > 0 {
+		g := stats.Summarize(guesses)
+		fmt.Printf("guesses to win: median %.0f  mean %.1f  p90 %.0f  max %.0f\n", g.Median, g.Mean, g.P90, g.Max)
+	}
+	if len(simRounds) > 0 {
+		s := stats.Summarize(simRounds)
+		fmt.Printf("simulated broadcast rounds: median %.0f  mean %.1f  max %.0f\n", s.Median, s.Mean, s.Max)
+		fmt.Printf("Theorem 3.1 frame: guesses ≈ O(f(2β)·log β) with log β = %d\n", bitrand.LogN(*beta))
+	}
+	return nil
+}
+
+func playerFactory(kind, algName, problem string, beta int, seed uint64) (func(trial uint64) hitting.Player, error) {
+	switch kind {
+	case "uniform":
+		return func(uint64) hitting.Player { return &hitting.UniformPlayer{Beta: beta} }, nil
+	case "sweep":
+		return func(uint64) hitting.Player { return &hitting.SweepPlayer{Beta: beta} }, nil
+	case "simulate":
+		var alg radio.Algorithm
+		switch algName {
+		case "decay-global":
+			alg = core.DecayGlobal{}
+		case "round-robin":
+			alg = core.RoundRobin{}
+		default:
+			return nil, fmt.Errorf("unsupported algorithm %q for the reduction", algName)
+		}
+		var prob radio.Problem
+		switch problem {
+		case "global":
+			prob = radio.GlobalBroadcast
+		case "local":
+			prob = radio.LocalBroadcast
+		default:
+			return nil, fmt.Errorf("unknown problem %q", problem)
+		}
+		return func(trial uint64) hitting.Player {
+			return &hitting.SimulationPlayer{
+				Algorithm: alg,
+				Beta:      beta,
+				Problem:   prob,
+				Seed:      seed + trial,
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown player %q", kind)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestPlayerFactory(t *testing.T) {
+	for _, kind := range []string{"uniform", "sweep"} {
+		mk, err := playerFactory(kind, "", "", 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if mk(0) == nil {
+			t.Fatalf("%s: nil player", kind)
+		}
+	}
+	mk, err := playerFactory("simulate", "round-robin", "local", 16, 1)
+	if err != nil || mk(0) == nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if _, err := playerFactory("nope", "", "", 16, 1); err == nil {
+		t.Fatal("unknown player accepted")
+	}
+	if _, err := playerFactory("simulate", "nope", "local", 16, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := playerFactory("simulate", "round-robin", "nope", 16, 1); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestRunUniform(t *testing.T) {
+	if err := run([]string{"-beta", "16", "-player", "uniform", "-trials", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	if err := run([]string{"-beta", "16", "-player", "simulate", "-alg", "round-robin", "-problem", "local", "-trials", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadBeta(t *testing.T) {
+	if err := run([]string{"-beta", "1"}); err == nil {
+		t.Fatal("beta=1 accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Command dgsim runs a single dual graph broadcast simulation and reports
+// the outcome, optionally with a round-by-round trace.
+//
+// Examples:
+//
+//	dgsim -topology dualclique -n 256 -alg permuted-global -adversary presample
+//	dgsim -topology geogrid -n 64 -alg geo-local -problem local -adversary randomloss -trace
+//	dgsim -topology bracelet -n 512 -alg aloha -problem local -adversary presample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dgsim", flag.ContinueOnError)
+	var (
+		topology  = fs.String("topology", "dualclique", "network: dualclique, bracelet, geogrid, line, clique, geo")
+		n         = fs.Int("n", 256, "target network size")
+		algName   = fs.String("alg", "decay-global", "algorithm: decay-global, permuted-global, decay-local, geo-local, geo-local-noseeds, round-robin, aloha, permuted-local-uncoordinated, gossip-tdm, leader-elect")
+		problem   = fs.String("problem", "global", "problem: global, local, or gossip")
+		advName   = fs.String("adversary", "none", "adversary: none, all, randomloss, bursty, densesparse, jam, presample")
+		lossP     = fs.Float64("loss-p", 0.5, "edge presence probability for randomloss")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		maxRounds = fs.Int("max-rounds", 0, "round budget (0 = 400·n)")
+		doTrace   = fs.Bool("trace", false, "print a per-round trace")
+		traceMax  = fs.Int("trace-max", 50, "maximum rounds to trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, spec, err := buildNetwork(*topology, *n, *problem, *seed)
+	if err != nil {
+		return err
+	}
+	alg, err := buildAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	link, err := buildAdversary(*advName, *lossP, net)
+	if err != nil {
+		return err
+	}
+	budget := *maxRounds
+	if budget <= 0 {
+		budget = 400 * net.N()
+	}
+
+	var rec *radio.MemRecorder
+	if *doTrace {
+		rec = &radio.MemRecorder{}
+	}
+	cfg := radio.Config{
+		Net:            net,
+		Algorithm:      alg,
+		Spec:           spec,
+		Link:           link,
+		Seed:           *seed,
+		MaxRounds:      budget,
+		UseCliqueCover: true,
+	}
+	if rec != nil {
+		cfg.Recorder = rec
+	}
+	res, err := radio.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network   %s (n=%d, |E|=%d, |E'|=%d, Δ=%d)\n",
+		*topology, net.N(), net.G().NumEdges(), net.GPrime().NumEdges(), net.MaxDegree())
+	fmt.Printf("algorithm %s   problem %s   adversary %s   seed %d\n", alg.Name(), spec.Problem, *advName, *seed)
+	fmt.Printf("solved    %v in %d rounds (%d transmissions, %d deliveries)\n",
+		res.Solved, res.Rounds, res.Transmissions, res.Deliveries)
+	if res.InformedAt != nil {
+		last, lastAt := -1, -1
+		for u, at := range res.InformedAt {
+			if at > lastAt {
+				last, lastAt = u, at
+			}
+		}
+		fmt.Printf("last node informed: %d at round %d\n", last, lastAt)
+	}
+	if curve := trace.ProgressFromResult(res); curve.Total > 0 {
+		fmt.Printf("progress  %s (%d completions; half by round %d)\n",
+			viz.Sparkline(toFloats(curve.Counts), 60), curve.Total, curve.TimeToFraction(0.5))
+	}
+	if rec != nil {
+		cs := trace.AnalyzeChannel(rec)
+		fmt.Printf("channel   silent %d · singleton %d · collision %d · delivering %d (utilization %.2f)\n",
+			cs.SilentRounds, cs.SingletonRounds, cs.CollisionRounds, cs.DeliveringRounds, cs.Utilization())
+		for _, r := range rec.Rounds {
+			if r.Round >= *traceMax {
+				fmt.Printf("... (%d more rounds)\n", len(rec.Rounds)-*traceMax)
+				break
+			}
+			fmt.Printf("  r=%4d sel=%-7s tx=%3d deliveries=%d\n", r.Round, r.SelectorKind, len(r.Transmitters), len(r.Deliveries))
+		}
+	}
+	return nil
+}
+
+func toFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func buildNetwork(topology string, n int, problem string, seed uint64) (*graph.Dual, radio.Spec, error) {
+	var (
+		net  *graph.Dual
+		spec radio.Spec
+		bSet []graph.NodeID
+	)
+	switch topology {
+	case "dualclique":
+		d, m := graph.DualClique(n, 3)
+		net = d
+		for u := 0; u < m.SizeA; u++ {
+			bSet = append(bSet, u)
+		}
+	case "bracelet":
+		d, m := graph.Bracelet(n, 1)
+		net = d
+		bSet = append(append(bSet, m.AHead...), m.BHead...)
+	case "geogrid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		net = graph.GeographicGrid(bitrand.New(seed), side, side, 0.7, 1.5)
+		for u := 0; u < net.N(); u += 3 {
+			bSet = append(bSet, u)
+		}
+	case "geo":
+		net = graph.Geographic(bitrand.New(seed), graph.GeographicConfig{
+			N: n, Side: float64(n) / 16, Radius: 2, GreyProb: 1,
+		})
+		for u := 0; u < net.N(); u += 3 {
+			bSet = append(bSet, u)
+		}
+	case "line":
+		net = graph.UniformDual(graph.Line(n))
+		bSet = []graph.NodeID{0}
+	case "clique":
+		net = graph.UniformDual(graph.Clique(n))
+		bSet = []graph.NodeID{0}
+	default:
+		return nil, spec, fmt.Errorf("unknown topology %q", topology)
+	}
+	switch problem {
+	case "global":
+		spec = radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}
+	case "local":
+		spec = radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: bSet}
+	case "gossip":
+		// Use up to four well-spread sources.
+		k := 4
+		if net.N() < 8 {
+			k = 2
+		}
+		sources := make([]graph.NodeID, 0, k)
+		for i := 0; i < k; i++ {
+			sources = append(sources, graph.NodeID(i*net.N()/k))
+		}
+		spec = radio.Spec{Problem: radio.Gossip, Sources: sources}
+	default:
+		return nil, spec, fmt.Errorf("unknown problem %q", problem)
+	}
+	return net, spec, nil
+}
+
+func buildAlgorithm(name string) (radio.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "decay-global":
+		return core.DecayGlobal{}, nil
+	case "permuted-global":
+		return core.PermutedGlobal{}, nil
+	case "decay-local":
+		return core.DecayLocal{}, nil
+	case "geo-local":
+		return core.GeoLocal{}, nil
+	case "geo-local-noseeds":
+		return core.GeoLocal{DisableSeedSharing: true}, nil
+	case "round-robin":
+		return core.RoundRobin{}, nil
+	case "aloha":
+		return core.Aloha{P: 0.5}, nil
+	case "permuted-local-uncoordinated":
+		return core.PermutedLocalUncoordinated{}, nil
+	case "gossip-tdm":
+		return gossip.TDM{}, nil
+	case "leader-elect":
+		return gossip.LeaderElect{RankSeed: 77}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func buildAdversary(name string, lossP float64, net *graph.Dual) (any, error) {
+	switch strings.ToLower(name) {
+	case "none":
+		return nil, nil
+	case "all":
+		return adversary.AlwaysAll(), nil
+	case "randomloss":
+		return adversary.RandomLoss{P: lossP}, nil
+	case "densesparse":
+		return adversary.DenseSparse{C: 1}, nil
+	case "jam":
+		return adversary.Jam{}, nil
+	case "presample":
+		return adversary.Presample{C: 1, Horizon: 4 * net.N()}, nil
+	case "bursty":
+		return adversary.BurstyLoss{P: lossP, Burst: 16}, nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func TestBuildAlgorithmKnownNames(t *testing.T) {
+	names := []string{
+		"decay-global", "permuted-global", "decay-local", "geo-local",
+		"geo-local-noseeds", "round-robin", "aloha", "permuted-local-uncoordinated",
+	}
+	for _, name := range names {
+		alg, err := buildAlgorithm(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatalf("%s: empty algorithm name", name)
+		}
+	}
+	if _, err := buildAlgorithm("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBuildNetworkTopologies(t *testing.T) {
+	for _, topo := range []string{"dualclique", "bracelet", "geogrid", "geo", "line", "clique"} {
+		net, spec, err := buildNetwork(topo, 64, "local", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if net.N() < 2 {
+			t.Fatalf("%s: degenerate network", topo)
+		}
+		if spec.Problem != radio.LocalBroadcast || len(spec.Broadcasters) == 0 {
+			t.Fatalf("%s: bad local spec", topo)
+		}
+		_, spec, err = buildNetwork(topo, 64, "global", 1)
+		if err != nil || spec.Problem != radio.GlobalBroadcast {
+			t.Fatalf("%s global: %v", topo, err)
+		}
+	}
+	if _, _, err := buildNetwork("nope", 64, "global", 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, _, err := buildNetwork("line", 64, "nope", 1); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestBuildAdversary(t *testing.T) {
+	net, _, err := buildNetwork("dualclique", 32, "global", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"none", "all", "randomloss", "densesparse", "jam", "presample"} {
+		if _, err := buildAdversary(name, 0.5, net); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildAdversary("nope", 0.5, net); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	err := run([]string{
+		"-topology", "line", "-n", "16", "-alg", "decay-global",
+		"-adversary", "none", "-max-rounds", "4000", "-trace", "-trace-max", "5",
+	})
+	if err != nil {
+		t.Fatalf("dgsim run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-alg", "nope"}); err == nil {
+		t.Fatal("bad algorithm not rejected")
+	}
+	if err := run([]string{"-topology", "nope"}); err == nil {
+		t.Fatal("bad topology not rejected")
+	}
+	if err := run([]string{"-adversary", "nope"}); err == nil {
+		t.Fatal("bad adversary not rejected")
+	}
+}

@@ -1,0 +1,75 @@
+// Adaptive attack: the paper's central separation, live.
+//
+// On the dual clique network (two reliable cliques joined by one reliable
+// bridge, everything else unreliable) we pit two algorithms against two
+// adversaries:
+//
+//   - plain decay [2]: fixed, publicly known probability schedule
+//   - permuted decay (§4.1): schedule driven by bits the source draws at
+//     runtime
+//
+// against
+//
+//   - the online adaptive dense/sparse adversary (Theorem 3.1), which reads
+//     the expected transmitter count from the nodes' states each round
+//   - the oblivious sampling adversary (Theorem 4.3 machinery), which must
+//     commit its schedule before round 1 from presimulations
+//
+// The outcome reproduces Figure 1's middle rows: the online adaptive
+// adversary stalls both algorithms (~linear rounds), while the oblivious
+// adversary stalls only plain decay — permuted decay stays polylogarithmic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+func main() {
+	const n = 2048
+	const trials = 3
+	net, markers := graph.DualClique(n, 3)
+	fmt.Printf("dual clique: n=%d, bridge %d–%d, G' complete\n\n", n, markers.TA, markers.TB)
+
+	algs := []radio.Algorithm{core.DecayGlobal{}, core.PermutedGlobal{}}
+	advs := []struct {
+		name string
+		link any
+	}{
+		{"(protocol model)", nil},
+		{"oblivious sampling", adversary.Presample{C: 1, Horizon: 4 * n}},
+		{"online adaptive", adversary.DenseSparse{C: 1}},
+	}
+
+	tb := stats.NewTable("algorithm", "adversary", "median rounds")
+	for _, alg := range algs {
+		for _, adv := range advs {
+			var rounds []float64
+			for seed := uint64(1); seed <= trials; seed++ {
+				res, err := radio.Run(radio.Config{
+					Net:            net,
+					Algorithm:      alg,
+					Spec:           radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+					Link:           adv.link,
+					Seed:           seed,
+					MaxRounds:      400 * n,
+					UseCliqueCover: true,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				rounds = append(rounds, float64(res.Rounds))
+			}
+			tb.AddRow(alg.Name(), adv.name, stats.Summarize(rounds).Median)
+		}
+	}
+	fmt.Println(tb)
+	fmt.Println("Figure 1 reproduced: adaptivity is what makes unreliable links expensive;")
+	fmt.Println("runtime randomness (permuted decay) neutralizes the oblivious adversary only.")
+}

@@ -1,0 +1,211 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func testEnv(n int) *radio.Env {
+	d, _ := graph.DualClique(n, 1)
+	return &radio.Env{
+		Net:       d,
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Rng:       bitrand.New(1),
+		MaxRounds: 1000,
+	}
+}
+
+func TestStaticSchedules(t *testing.T) {
+	env := testEnv(8)
+	if sel := AlwaysAll().CommitSchedule(env).SelectorFor(7); !sel.All() {
+		t.Fatal("AlwaysAll must select all")
+	}
+	if sel := AlwaysNone().CommitSchedule(env).SelectorFor(7); !sel.None() {
+		t.Fatal("AlwaysNone must select none")
+	}
+	if sel := (Static{}).CommitSchedule(env).SelectorFor(0); !sel.None() {
+		t.Fatal("nil selector must default to none")
+	}
+}
+
+func TestRandomLossDeterministicPerEnvSeed(t *testing.T) {
+	mk := func() radio.Schedule {
+		d, _ := graph.DualClique(8, 1)
+		env := &radio.Env{Net: d, Rng: bitrand.New(7), MaxRounds: 100}
+		return RandomLoss{P: 0.5}.CommitSchedule(env)
+	}
+	a, b := mk(), mk()
+	for r := 0; r < 20; r++ {
+		sa, sb := a.SelectorFor(r), b.SelectorFor(r)
+		for u := 0; u < 4; u++ {
+			for v := 4; v < 8; v++ {
+				if sa.Includes(u, v) != sb.Includes(u, v) {
+					t.Fatalf("round %d edge (%d,%d): schedules diverge for same adversary seed", r, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	env := testEnv(16)
+	sched := RandomLoss{P: 0.25}.CommitSchedule(env)
+	hits, total := 0, 0
+	for r := 0; r < 200; r++ {
+		sel := sched.SelectorFor(r)
+		for u := 0; u < 8; u++ {
+			for v := 8; v < 16; v++ {
+				total++
+				if sel.Includes(u, v) {
+					hits++
+				}
+			}
+		}
+	}
+	rate := float64(hits) / float64(total)
+	if rate < 0.2 || rate > 0.3 {
+		t.Fatalf("edge presence rate %.3f, want ≈0.25", rate)
+	}
+}
+
+func TestRandomLossExtremes(t *testing.T) {
+	env := testEnv(8)
+	if !(RandomLoss{P: 1.5}).CommitSchedule(env).SelectorFor(0).All() {
+		t.Fatal("P≥1 must select all")
+	}
+	if !(RandomLoss{P: -0.5}).CommitSchedule(env).SelectorFor(0).None() {
+		t.Fatal("P≤0 must select none")
+	}
+}
+
+func TestDenseSparseThresholding(t *testing.T) {
+	env := testEnv(64)
+	a := DenseSparse{C: 2}
+	th := a.Threshold(64)
+	dense := &radio.View{TransmitProbs: make([]float64, 64)}
+	for i := range dense.TransmitProbs {
+		dense.TransmitProbs[i] = (th + 1) / 64
+	}
+	if !a.ChooseOnline(env, dense).All() {
+		t.Fatal("above-threshold round must select all")
+	}
+	sparse := &radio.View{TransmitProbs: make([]float64, 64)}
+	for i := range sparse.TransmitProbs {
+		sparse.TransmitProbs[i] = (th - 1) / 64
+	}
+	if !a.ChooseOnline(env, sparse).None() {
+		t.Fatal("below-threshold round must select none")
+	}
+}
+
+func TestDenseSparseSameSideSparse(t *testing.T) {
+	env := testEnv(8)
+	a := DenseSparse{C: 100, SameSideSparse: func(u graph.NodeID) bool { return u < 4 }}
+	view := &radio.View{TransmitProbs: []float64{0, 0, 0, 0, 0, 0, 0, 0}}
+	sel := a.ChooseOnline(env, view)
+	if sel.Includes(0, 5) {
+		t.Fatal("sparse round must cut cross edges")
+	}
+	if !sel.Includes(0, 1) {
+		t.Fatal("sparse round must keep same-side edges when configured")
+	}
+}
+
+func TestJamBehavior(t *testing.T) {
+	env := testEnv(8)
+	if !(Jam{}).ChooseOffline(env, nil, []graph.NodeID{1, 2}).All() {
+		t.Fatal("two transmitters must be jammed")
+	}
+	if !(Jam{}).ChooseOffline(env, nil, []graph.NodeID{1}).None() {
+		t.Fatal("singleton must be isolated")
+	}
+	if !(Jam{}).ChooseOffline(env, nil, nil).None() {
+		t.Fatal("no transmitters must be isolated")
+	}
+}
+
+func TestPresampleSchedule(t *testing.T) {
+	sched := &presampleSchedule{dense: []bool{true, false, true}, horizon: 3}
+	if !sched.SelectorFor(0).All() || !sched.SelectorFor(2).All() {
+		t.Fatal("dense rounds must select all")
+	}
+	if !sched.SelectorFor(1).None() {
+		t.Fatal("sparse rounds must select none")
+	}
+	if !sched.SelectorFor(99).None() {
+		t.Fatal("beyond-horizon rounds must be sparse")
+	}
+}
+
+func TestPresampleCommitRunsWithoutExecutionInfo(t *testing.T) {
+	// Presample must produce a usable schedule from the env alone.
+	d, _ := graph.DualClique(32, 3)
+	env := &radio.Env{
+		Net:       d,
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Algorithm: fixedRate{p: 0.5},
+		Rng:       bitrand.New(3),
+		MaxRounds: 200,
+	}
+	sched := Presample{C: 1, Horizon: 64}.CommitSchedule(env)
+	if sched == nil {
+		t.Fatal("nil schedule")
+	}
+	// With half the informed clique transmitting at rate 0.5, early rounds
+	// after round 0 must be labeled dense.
+	denseSeen := false
+	for r := 1; r < 64; r++ {
+		if sched.SelectorFor(r).All() {
+			denseSeen = true
+			break
+		}
+	}
+	if !denseSeen {
+		t.Fatal("presample failed to label any round dense for a chatty algorithm")
+	}
+}
+
+// fixedRate: informed nodes transmit with fixed probability (test helper).
+type fixedRate struct{ p float64 }
+
+func (fixedRate) Name() string { return "fixed-rate" }
+
+func (a fixedRate) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	out := make([]radio.Process, net.N())
+	for u := 0; u < net.N(); u++ {
+		p := &fixedProc{p: a.p}
+		if u == spec.Source {
+			p.msg = &radio.Message{Origin: spec.Source}
+		}
+		out[u] = p
+	}
+	return out
+}
+
+type fixedProc struct {
+	p   float64
+	msg *radio.Message
+}
+
+func (p *fixedProc) TransmitProb(int) float64 {
+	if p.msg != nil {
+		return p.p
+	}
+	return 0
+}
+
+func (p *fixedProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if p.msg != nil && rng.Coin(p.p) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+func (p *fixedProc) Deliver(r int, msg *radio.Message) {
+	if msg != nil && p.msg == nil {
+		p.msg = msg
+	}
+}

@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// BurstyLoss is an oblivious link process with temporally correlated
+// ("bursty") unreliable edges, after the β-factor measurements of
+// Srinivasan et al. [18] that the paper cites as motivation: real links
+// don't flip i.i.d. coins, they stay up or down for stretches.
+//
+// Time is divided per edge into epochs of Burst rounds, with per-edge phase
+// offsets so epochs are not globally aligned. Within an epoch the edge is
+// either present or absent for the whole epoch; the per-epoch coin comes up
+// present with probability P. Burst = 1 degenerates to RandomLoss. Every
+// decision is a hash of (seed, edge, epoch), so the entire schedule is
+// committed before round 1, as obliviousness requires.
+type BurstyLoss struct {
+	// P is the probability an edge is up in a given epoch.
+	P float64
+	// Burst is the epoch length in rounds (default 8).
+	Burst int
+}
+
+var _ radio.ObliviousLink = BurstyLoss{}
+
+// CommitSchedule implements radio.ObliviousLink.
+func (a BurstyLoss) CommitSchedule(env *radio.Env) radio.Schedule {
+	seed := env.Rng.Uint64()
+	p := a.P
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	burst := a.Burst
+	if burst < 1 {
+		burst = 8
+	}
+	return radio.ScheduleFunc(func(r int) graph.EdgeSelector {
+		switch {
+		case p == 0:
+			return graph.SelectNone{}
+		case p == 1:
+			return graph.SelectAll{}
+		}
+		return graph.SelectFunc{F: func(u, v graph.NodeID) bool {
+			k := graph.MakeEdgeKey(u, v)
+			// Per-edge phase offset decorrelates epoch boundaries.
+			phase := int(bitrand.Hash64(seed, 0x0ff5e7, uint64(k.U), uint64(k.V)) % uint64(burst))
+			epoch := (r + phase) / burst
+			return bitrand.HashFloat(seed, uint64(epoch), uint64(k.U), uint64(k.V)) < p
+		}}
+	})
+}
+
+// Targeted is an oblivious link process that attacks a fixed victim set: it
+// keeps every unreliable edge incident to a victim permanently absent and
+// everything else permanently present. It models a localized dead zone (a
+// wall, a jammer near specific nodes) and is the simplest adversary that
+// differentiates algorithms by *where* they need the unreliable edges.
+type Targeted struct {
+	// Victims are the nodes whose unreliable edges are suppressed.
+	Victims []graph.NodeID
+}
+
+var _ radio.ObliviousLink = Targeted{}
+
+// CommitSchedule implements radio.ObliviousLink.
+func (a Targeted) CommitSchedule(env *radio.Env) radio.Schedule {
+	victim := make(map[graph.NodeID]bool, len(a.Victims))
+	for _, v := range a.Victims {
+		victim[v] = true
+	}
+	sel := graph.SelectFunc{F: func(u, v graph.NodeID) bool {
+		return !victim[u] && !victim[v]
+	}}
+	return radio.StaticSchedule{Selector: sel}
+}

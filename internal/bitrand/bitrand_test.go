@@ -1,0 +1,210 @@
+package bitrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sources with different seeds produced %d/64 equal values", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1, 2)
+	c2 := parent.Split(1, 2)
+	c3 := parent.Split(1, 3)
+	if c1.Uint64() != c2.Uint64() {
+		t.Fatal("same labels must give the same child stream")
+	}
+	diff := false
+	for i := 0; i < 16; i++ {
+		if c1.Uint64() != c3.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different labels produced identical child streams")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	_ = a.Split(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split must not consume parent randomness")
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	s := New(3)
+	s.Bits(5)
+	s.Bits(64)
+	s.Bit()
+	if got, want := s.Consumed(), uint64(5+64+1); got != want {
+		t.Fatalf("Consumed = %d, want %d", got, want)
+	}
+}
+
+func TestBitsRange(t *testing.T) {
+	s := New(9)
+	for k := uint(1); k <= 64; k++ {
+		v := s.Bits(k)
+		if k < 64 && v >= 1<<k {
+			t.Fatalf("Bits(%d) = %d out of range", k, v)
+		}
+	}
+	if got := s.Bits(0); got != 0 {
+		t.Fatalf("Bits(0) = %d, want 0", got)
+	}
+}
+
+func TestBitsUniformish(t *testing.T) {
+	s := New(12345)
+	const trials = 20000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		ones += int(s.Bit())
+	}
+	// Expect trials/2 +- 5 sigma; sigma = sqrt(trials)/2 ~ 70.
+	if math.Abs(float64(ones)-trials/2) > 400 {
+		t.Fatalf("bit bias: %d ones of %d", ones, trials)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(8)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 50; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonpositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	s := New(99)
+	const n, trials = 8, 40000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(4)
+	err := quick.Check(func(szRaw uint8) bool {
+		n := int(szRaw%50) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoinEdges(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 20; i++ {
+		if s.Coin(0) {
+			t.Fatal("Coin(0) returned true")
+		}
+		if !s.Coin(1) {
+			t.Fatal("Coin(1) returned false")
+		}
+		if s.Coin(-0.5) {
+			t.Fatal("Coin(-0.5) returned true")
+		}
+		if !s.Coin(1.5) {
+			t.Fatal("Coin(1.5) returned false")
+		}
+	}
+}
+
+func TestCoinProbability(t *testing.T) {
+	s := New(77)
+	const trials = 30000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Coin(0.25) {
+			hits++
+		}
+	}
+	want := 0.25 * trials
+	if math.Abs(float64(hits)-want) > 6*math.Sqrt(want) {
+		t.Fatalf("Coin(0.25): %d hits of %d", hits, trials)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(10)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,198 @@
+package bitrand
+
+import (
+	"fmt"
+	"math"
+)
+
+// BitString is an immutable sequence of random bits with a read cursor. The
+// paper's algorithms pass explicit bit strings between nodes: the oblivious
+// global broadcast source of Section 4.1 appends 32*log^2(n)*loglog(n) bits
+// to its message, and the geo local broadcast leaders of Section 4.3 commit
+// to seeds of O(log^3 n (loglog n)^2) bits. BitString models those payloads:
+// once generated, the bits are fixed; readers consume prefixes.
+type BitString struct {
+	bits []uint64 // packed, LSB-first within each word
+	n    int      // total number of bits
+	pos  int      // read cursor
+}
+
+// NewBitString draws n fresh uniform bits from src.
+func NewBitString(src *Source, n int) *BitString {
+	if n < 0 {
+		n = 0
+	}
+	words := (n + 63) / 64
+	b := &BitString{bits: make([]uint64, words), n: n}
+	for i := 0; i < words; i++ {
+		rem := n - 64*i
+		if rem >= 64 {
+			b.bits[i] = src.Bits(64)
+		} else {
+			b.bits[i] = src.Bits(uint(rem))
+		}
+	}
+	return b
+}
+
+// BitStringFromWords constructs a BitString over pre-drawn words. It copies
+// the slice so callers cannot mutate the string afterwards.
+func BitStringFromWords(words []uint64, n int) *BitString {
+	cp := make([]uint64, len(words))
+	copy(cp, words)
+	return &BitString{bits: cp, n: n}
+}
+
+// Len reports the total number of bits.
+func (b *BitString) Len() int { return b.n }
+
+// Remaining reports the number of unread bits.
+func (b *BitString) Remaining() int { return b.n - b.pos }
+
+// At returns bit i (0 or 1). It panics on out-of-range access, which is a
+// programming error in the simulator.
+func (b *BitString) At(i int) uint64 {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitrand: BitString index %d out of range [0,%d)", i, b.n))
+	}
+	return (b.bits[i/64] >> (uint(i) % 64)) & 1
+}
+
+// Take consumes the next k bits and returns them in the low bits of the
+// result, LSB = first bit. If fewer than k bits remain it wraps around to the
+// start of the string; the paper's protocols are sized so this never happens
+// in a correct configuration, but wrapping keeps long adversarial runs well
+// defined. Use Remaining to detect exhaustion.
+func (b *BitString) Take(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > 64 {
+		k = 64
+	}
+	var out uint64
+	for i := 0; i < k; i++ {
+		if b.n == 0 {
+			return 0
+		}
+		if b.pos >= b.n {
+			b.pos = 0
+		}
+		out |= b.At(b.pos) << uint(i)
+		b.pos++
+	}
+	return out
+}
+
+// TakeIndex consumes ceil(log2(m)) bits and maps them to a value in [0, m)
+// by modular reduction. This matches the paper's "select a value i in
+// [log n] using log log n new bits" step: with m a power of two the mapping
+// is exactly uniform.
+func (b *BitString) TakeIndex(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	k := BitsFor(m)
+	v := b.Take(k)
+	return int(v % uint64(m))
+}
+
+// Rewind resets the read cursor to the beginning.
+func (b *BitString) Rewind() { b.pos = 0 }
+
+// Clone returns an independent copy with its own cursor, positioned at the
+// start. Nodes that receive the same payload each read it independently.
+func (b *BitString) Clone() *BitString {
+	cp := make([]uint64, len(b.bits))
+	copy(cp, b.bits)
+	return &BitString{bits: cp, n: b.n}
+}
+
+// Slice returns a fresh BitString over bits [from, from+n), with wrapping
+// semantics handled by clamping to the available range.
+func (b *BitString) Slice(from, n int) *BitString {
+	if from < 0 {
+		from = 0
+	}
+	if from > b.n {
+		from = b.n
+	}
+	if n < 0 || from+n > b.n {
+		n = b.n - from
+	}
+	words := (n + 63) / 64
+	out := &BitString{bits: make([]uint64, words), n: n}
+	for i := 0; i < n; i++ {
+		if b.At(from+i) == 1 {
+			out.bits[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return out
+}
+
+// BitsFor returns ceil(log2(m)) for m >= 2, and 1 for m < 2: the number of
+// bits needed to index m values.
+func BitsFor(m int) int {
+	if m < 2 {
+		return 1
+	}
+	k := 0
+	for v := m - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Log2Ceil returns ceil(log2(x)) for x >= 1, and 0 for x <= 1.
+func Log2Ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	k := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Log2Floor returns floor(log2(x)) for x >= 1, and 0 for x <= 1.
+func Log2Floor(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	k := -1
+	for v := x; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// LogN returns max(1, ceil(log2(n))): the "log n" that parameterizes the
+// paper's algorithms, floored at 1 so tiny test networks stay well defined.
+func LogN(n int) int {
+	l := Log2Ceil(n)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// LogLogN returns max(1, ceil(log2(LogN(n)))): the "log log n" bit budget for
+// one permuted-decay probability selection.
+func LogLogN(n int) int {
+	l := Log2Ceil(LogN(n))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// NaturalLog returns ln(n) floored at 1, used where the paper's thresholds
+// are stated in natural logs (e.g. the c*ln(n) dense/sparse cut of Lemma 4.5).
+func NaturalLog(n int) float64 {
+	v := math.Log(float64(n))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

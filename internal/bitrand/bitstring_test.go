@@ -1,0 +1,192 @@
+package bitrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitStringLenAndAt(t *testing.T) {
+	src := New(1)
+	b := NewBitString(src, 130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for i := 0; i < 130; i++ {
+		v := b.At(i)
+		if v != 0 && v != 1 {
+			t.Fatalf("At(%d) = %d", i, v)
+		}
+	}
+}
+
+func TestBitStringAtPanics(t *testing.T) {
+	b := NewBitString(New(1), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(8) on length-8 string did not panic")
+		}
+	}()
+	b.At(8)
+}
+
+func TestBitStringTakeMatchesAt(t *testing.T) {
+	src := New(2)
+	b := NewBitString(src, 200)
+	c := b.Clone()
+	for read := 0; read+7 <= 200; read += 7 {
+		v := b.Take(7)
+		var want uint64
+		for i := 0; i < 7; i++ {
+			want |= c.At(read+i) << uint(i)
+		}
+		if v != want {
+			t.Fatalf("Take at offset %d = %b, want %b", read, v, want)
+		}
+	}
+}
+
+func TestBitStringTakeWraps(t *testing.T) {
+	b := NewBitString(New(3), 10)
+	b.Take(10)
+	// Next take wraps to the start; must equal the first bits again.
+	c := b.Clone()
+	if got, want := b.Take(4), c.Take(4); got != want {
+		t.Fatalf("wrapped Take = %b, want %b", got, want)
+	}
+}
+
+func TestBitStringTakeEmpty(t *testing.T) {
+	b := NewBitString(New(4), 0)
+	if got := b.Take(8); got != 0 {
+		t.Fatalf("Take on empty string = %d, want 0", got)
+	}
+}
+
+func TestBitStringTakeIndexRange(t *testing.T) {
+	src := New(5)
+	b := NewBitString(src, 4096)
+	for _, m := range []int{1, 2, 3, 5, 8, 16, 31} {
+		for i := 0; i < 20; i++ {
+			v := b.TakeIndex(m)
+			if v < 0 || v >= m {
+				t.Fatalf("TakeIndex(%d) = %d out of range", m, v)
+			}
+		}
+	}
+}
+
+func TestBitStringTakeIndexUniformPowerOfTwo(t *testing.T) {
+	b := NewBitString(New(6), 1<<18)
+	counts := make([]int, 8)
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		counts[b.TakeIndex(8)]++
+	}
+	for i, c := range counts {
+		if c < trials/8-300 || c > trials/8+300 {
+			t.Fatalf("TakeIndex(8) bucket %d = %d, want ~%d", i, c, trials/8)
+		}
+	}
+}
+
+func TestBitStringCloneIndependentCursor(t *testing.T) {
+	b := NewBitString(New(7), 64)
+	c := b.Clone()
+	b.Take(32)
+	if c.Remaining() != 64 {
+		t.Fatalf("clone cursor moved: remaining %d", c.Remaining())
+	}
+	// Contents must match bit for bit.
+	b.Rewind()
+	for i := 0; i < 64; i++ {
+		if b.At(i) != c.At(i) {
+			t.Fatalf("clone differs at bit %d", i)
+		}
+	}
+}
+
+func TestBitStringSlice(t *testing.T) {
+	b := NewBitString(New(8), 100)
+	s := b.Slice(10, 20)
+	if s.Len() != 20 {
+		t.Fatalf("Slice len = %d, want 20", s.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if s.At(i) != b.At(10+i) {
+			t.Fatalf("slice bit %d mismatch", i)
+		}
+	}
+	// Out-of-range slices clamp.
+	if got := b.Slice(90, 50).Len(); got != 10 {
+		t.Fatalf("clamped slice len = %d, want 10", got)
+	}
+	if got := b.Slice(-5, 5).Len(); got != 5 {
+		t.Fatalf("negative-from slice len = %d, want 5", got)
+	}
+}
+
+func TestBitStringFromWordsCopies(t *testing.T) {
+	words := []uint64{0xff}
+	b := BitStringFromWords(words, 8)
+	words[0] = 0
+	for i := 0; i < 8; i++ {
+		if b.At(i) != 1 {
+			t.Fatal("BitStringFromWords did not copy input")
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ m, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5},
+	}
+	for _, c := range cases {
+		if got := BitsFor(c.m); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2}, {8, 3, 3}, {9, 4, 3}, {1024, 10, 10}, {1025, 11, 10},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+	}
+	if LogN(1) != 1 || LogLogN(2) != 1 {
+		t.Error("LogN/LogLogN must floor at 1")
+	}
+	if LogN(1024) != 10 {
+		t.Errorf("LogN(1024) = %d, want 10", LogN(1024))
+	}
+}
+
+func TestLogPropertyQuick(t *testing.T) {
+	err := quick.Check(func(raw uint16) bool {
+		n := int(raw) + 1
+		c, f := Log2Ceil(n), Log2Floor(n)
+		if c < f || c > f+1 {
+			return false
+		}
+		// 2^f <= n <= 2^c
+		return (1<<uint(f)) <= n && n <= (1<<uint(c))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaturalLogFloor(t *testing.T) {
+	if NaturalLog(1) != 1 {
+		t.Fatal("NaturalLog(1) must be floored to 1")
+	}
+	if v := NaturalLog(1000); v < 6.9 || v > 6.91 {
+		t.Fatalf("NaturalLog(1000) = %v", v)
+	}
+}

@@ -1,0 +1,25 @@
+package bitrand
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 mixes the given values into a single 64-bit hash. It is
+// deterministic and stateless: oblivious adversaries use it to derive
+// per-(round, edge) decisions from a seed committed before the execution.
+func Hash64(vals ...uint64) uint64 {
+	h := uint64(0x6a09e667f3bcc909)
+	for _, v := range vals {
+		h = mix64(h ^ v)
+		h += 0x9e3779b97f4a7c15
+	}
+	return mix64(h)
+}
+
+// HashFloat maps the hash of the given values to [0, 1).
+func HashFloat(vals ...uint64) float64 {
+	return float64(Hash64(vals...)>>11) / (1 << 53)
+}

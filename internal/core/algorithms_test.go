@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func runGlobal(t *testing.T, alg radio.Algorithm, net *graph.Dual, link any, seed uint64, maxRounds int) radio.Result {
+	t.Helper()
+	res, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: alg,
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Link:      link,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runLocal(t *testing.T, alg radio.Algorithm, net *graph.Dual, b []graph.NodeID, link any, seed uint64, maxRounds int) radio.Result {
+	t.Helper()
+	res, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: alg,
+		Spec:      radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: b},
+		Link:      link,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDecayGlobalSolvesProtocolModel(t *testing.T) {
+	nets := map[string]*graph.Dual{
+		"line-32":   graph.UniformDual(graph.Line(32)),
+		"clique-64": graph.UniformDual(graph.Clique(64)),
+		"grid-8x8":  graph.UniformDual(graph.Grid(8, 8)),
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				res := runGlobal(t, DecayGlobal{}, net, nil, seed, 20000)
+				if !res.Solved {
+					t.Fatalf("seed %d: decay global did not complete", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestDecayGlobalRoundsScaleWithDiameter(t *testing.T) {
+	// On lines, completion should be roughly linear in D (D·log n), far
+	// below quadratic.
+	short := runGlobal(t, DecayGlobal{}, graph.UniformDual(graph.Line(16)), nil, 1, 100000)
+	long := runGlobal(t, DecayGlobal{}, graph.UniformDual(graph.Line(64)), nil, 1, 100000)
+	if !short.Solved || !long.Solved {
+		t.Fatal("decay global incomplete")
+	}
+	if long.Rounds <= short.Rounds {
+		t.Fatalf("rounds did not grow with diameter: %d vs %d", short.Rounds, long.Rounds)
+	}
+	if long.Rounds > 40*short.Rounds {
+		t.Fatalf("scaling way off: %d vs %d", short.Rounds, long.Rounds)
+	}
+}
+
+func TestDecayLocalSolvesProtocolModel(t *testing.T) {
+	src := bitrand.New(7)
+	net := graph.GeographicGrid(src, 6, 6, 0.7, 1.5)
+	// Broadcasters: every third node.
+	var b []graph.NodeID
+	for u := 0; u < net.N(); u += 3 {
+		b = append(b, u)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		res := runLocal(t, DecayLocal{}, net, b, nil, seed, 20000)
+		if !res.Solved {
+			t.Fatalf("seed %d: decay local did not complete", seed)
+		}
+		// Polylog completion: generous cap well below n.
+		if res.Rounds > 2000 {
+			t.Fatalf("seed %d: decay local too slow: %d rounds", seed, res.Rounds)
+		}
+	}
+}
+
+func TestPermutedGlobalSolvesProtocolModel(t *testing.T) {
+	nets := map[string]*graph.Dual{
+		"line-32":   graph.UniformDual(graph.Line(32)),
+		"clique-64": graph.UniformDual(graph.Clique(64)),
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				res := runGlobal(t, PermutedGlobal{}, net, nil, seed, 200000)
+				if !res.Solved {
+					t.Fatalf("seed %d: permuted global did not complete", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestPermutedGlobalSourceTransmitsOnce(t *testing.T) {
+	rec := &radio.MemRecorder{}
+	net := graph.UniformDual(graph.Line(8))
+	_, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: PermutedGlobal{},
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Seed:      5,
+		MaxRounds: 50000,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sourceTx := 0
+	for _, r := range rec.Rounds {
+		for _, u := range r.Transmitters {
+			if u == 0 {
+				sourceTx++
+			}
+		}
+	}
+	if sourceTx != 1 {
+		t.Fatalf("source transmitted %d times, want exactly 1", sourceTx)
+	}
+}
+
+func TestPermutedGlobalMessageCarriesBits(t *testing.T) {
+	net := graph.UniformDual(graph.Clique(16))
+	procs := PermutedGlobal{}.NewProcesses(net, radio.Spec{Problem: radio.GlobalBroadcast, Source: 3}, bitrand.New(1))
+	src, ok := procs[3].(*permGlobalProc)
+	if !ok {
+		t.Fatal("unexpected process type")
+	}
+	bits, ok := src.msg.Payload.(*bitrand.BitString)
+	if !ok {
+		t.Fatal("source message has no bit string payload")
+	}
+	if want := GlobalBitsLen(16, 2*bitrand.LogN(16)); bits.Len() != want {
+		t.Fatalf("payload bits = %d, want %d", bits.Len(), want)
+	}
+	// Non-source nodes start uninformed.
+	for u, p := range procs {
+		gp := p.(*permGlobalProc)
+		if u != 3 && gp.informedAt != -1 {
+			t.Fatalf("node %d starts informed", u)
+		}
+	}
+}
+
+func TestRoundRobinLocalWithinNRounds(t *testing.T) {
+	d, m := graph.DualClique(32, 1)
+	var b []graph.NodeID
+	for u := 0; u < m.SizeA; u++ {
+		b = append(b, u)
+	}
+	res := runLocal(t, RoundRobin{}, d, b, nil, 1, 64)
+	if !res.Solved || res.Rounds > d.N() {
+		t.Fatalf("round robin local: solved=%v rounds=%d", res.Solved, res.Rounds)
+	}
+}
+
+func TestRoundRobinGlobalOnLine(t *testing.T) {
+	net := graph.UniformDual(graph.Line(10))
+	res := runGlobal(t, RoundRobin{}, net, nil, 1, 200)
+	if !res.Solved {
+		t.Fatal("round robin global incomplete")
+	}
+	if res.Rounds > 10*10 {
+		t.Fatalf("round robin too slow: %d", res.Rounds)
+	}
+}
+
+func TestAlohaSolvesLocalOnLine(t *testing.T) {
+	net := graph.UniformDual(graph.Line(16))
+	res := runLocal(t, Aloha{P: 0.5}, net, []graph.NodeID{5, 11}, nil, 3, 2000)
+	if !res.Solved {
+		t.Fatal("aloha local incomplete")
+	}
+}
+
+func TestAlohaProbClamping(t *testing.T) {
+	net := graph.UniformDual(graph.Line(4))
+	for _, p := range []float64{-1, 0, 2} {
+		procs := Aloha{P: p}.NewProcesses(net, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: []graph.NodeID{0}}, bitrand.New(1))
+		tp := procs[0].(radio.TransmitProber).TransmitProb(0)
+		if tp <= 0 || tp > 1 {
+			t.Fatalf("P=%v: clamped prob %v out of (0,1]", p, tp)
+		}
+	}
+}
+
+func TestTransmitProbMatchesEmpiricalRate(t *testing.T) {
+	// The TransmitProber contract: over many rounds, realized transmissions
+	// match the declared probabilities. Checked for decay local.
+	net := graph.UniformDual(graph.Clique(8))
+	spec := radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: []graph.NodeID{0}}
+	procs := DecayLocal{}.NewProcesses(net, spec, bitrand.New(1))
+	p := procs[0].(*decayLocalProc)
+	rng := bitrand.New(42)
+	const rounds = 30000
+	var expected float64
+	actual := 0
+	for r := 0; r < rounds; r++ {
+		expected += p.TransmitProb(r)
+		if p.Step(r, rng).Transmit {
+			actual++
+		}
+	}
+	if diff := expected - float64(actual); diff > 400 || diff < -400 {
+		t.Fatalf("declared %.0f expected transmissions, observed %d", expected, actual)
+	}
+}
+
+func TestSilentProcIsSilent(t *testing.T) {
+	var s silentProc
+	if s.TransmitProb(0) != 0 || s.Step(0, bitrand.New(1)).Transmit {
+		t.Fatal("silent process transmitted")
+	}
+	s.Deliver(0, nil) // must not panic
+}

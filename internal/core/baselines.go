@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// RoundRobin is the adversary-proof baseline of the paper's footnotes 4 and
+// 5: node u transmits (when it holds a message) exactly in rounds r with
+// r mod n = u. Every round has at most one transmitter in the entire
+// network, so no link process can cause a collision; any added edge only
+// helps. Local broadcast completes within n rounds; global broadcast within
+// n·D rounds. Deterministic and slow — the O(n) row of Figure 1.
+type RoundRobin struct{}
+
+var _ radio.Algorithm = RoundRobin{}
+
+// Name implements radio.Algorithm.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// NewProcesses implements radio.Algorithm.
+func (RoundRobin) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	procs := make([]radio.Process, n)
+	switch spec.Problem {
+	case radio.GlobalBroadcast:
+		for u := 0; u < n; u++ {
+			p := &roundRobinProc{id: u, n: n}
+			if u == spec.Source {
+				p.msg = &radio.Message{Origin: spec.Source}
+			}
+			procs[u] = p
+		}
+	default: // LocalBroadcast
+		inB := make([]bool, n)
+		for _, u := range spec.Broadcasters {
+			inB[u] = true
+		}
+		for u := 0; u < n; u++ {
+			p := &roundRobinProc{id: u, n: n}
+			if inB[u] {
+				p.msg = &radio.Message{Origin: u}
+			}
+			procs[u] = p
+		}
+	}
+	return procs
+}
+
+type roundRobinProc struct {
+	id, n int
+	msg   *radio.Message // nil until the node holds a message
+}
+
+func (p *roundRobinProc) myTurn(r int) bool { return r%p.n == p.id }
+
+// TransmitProb implements radio.TransmitProber.
+func (p *roundRobinProc) TransmitProb(r int) float64 {
+	if p.msg != nil && p.myTurn(r) {
+		return 1
+	}
+	return 0
+}
+
+// Step implements radio.Process.
+func (p *roundRobinProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if p.msg != nil && p.myTurn(r) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *roundRobinProc) Deliver(r int, msg *radio.Message) {
+	if msg != nil && p.msg == nil {
+		p.msg = msg // relay for global broadcast
+	}
+}
+
+// Aloha is the uncoordinated fixed-probability local broadcast baseline:
+// every broadcaster transmits each round with the same probability P. With
+// P = 0 a sensible default of 1/2 is used. Aloha exhibits the
+// Ω(√n / log n) behavior on the bracelet network: transmitting fast makes
+// every round dense (blocked by the sampling adversary); transmitting at
+// the sparse threshold rate means waiting ~√n/log n rounds for the clasp
+// transmission.
+type Aloha struct {
+	// P is the per-round transmit probability of each broadcaster.
+	P float64
+}
+
+var _ radio.Algorithm = Aloha{}
+
+// Name implements radio.Algorithm.
+func (Aloha) Name() string { return "aloha" }
+
+// NewProcesses implements radio.Algorithm.
+func (a Aloha) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	p := a.P
+	if p <= 0 {
+		p = 0.5
+	}
+	if p > 1 {
+		p = 1
+	}
+	n := net.N()
+	inB := make([]bool, n)
+	for _, u := range spec.Broadcasters {
+		inB[u] = true
+	}
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		if inB[u] {
+			procs[u] = &alohaProc{p: p, msg: &radio.Message{Origin: u}}
+		} else {
+			procs[u] = silentProc{}
+		}
+	}
+	return procs
+}
+
+type alohaProc struct {
+	p   float64
+	msg *radio.Message
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *alohaProc) TransmitProb(int) float64 { return p.p }
+
+// Step implements radio.Process.
+func (p *alohaProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if rng.Coin(p.p) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *alohaProc) Deliver(int, *radio.Message) {}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// probeLink is an offline adaptive link process used as a measurement probe:
+// it checks that every realized transmitter declared a positive probability,
+// and accumulates expected vs. actual transmission counts.
+type probeLink struct {
+	t        *testing.T
+	expected float64
+	actual   int
+}
+
+func (p *probeLink) ChooseOffline(env *radio.Env, view *radio.View, tx []graph.NodeID) graph.EdgeSelector {
+	for _, prob := range view.TransmitProbs {
+		if prob < 0 || prob > 1 {
+			p.t.Fatalf("round %d: declared probability %v outside [0,1]", view.Round, prob)
+		}
+		p.expected += prob
+	}
+	for _, u := range tx {
+		if view.TransmitProbs[u] <= 0 {
+			p.t.Fatalf("round %d: node %d transmitted with declared probability 0", view.Round, u)
+		}
+	}
+	p.actual += len(tx)
+	return graph.SelectNone{}
+}
+
+// TestTransmitProberContract verifies, for every algorithm in the
+// repository, that (a) nodes never transmit when their declared probability
+// is zero and (b) the realized transmission count matches the declared
+// expectation within sampling noise. This is the property the online
+// adaptive adversary of Theorem 3.1 relies on: E[|X| | S] computed from
+// declared probabilities really is the expected transmitter count.
+func TestTransmitProberContract(t *testing.T) {
+	type tc struct {
+		name string
+		alg  radio.Algorithm
+		net  *graph.Dual
+		spec radio.Spec
+	}
+	geo := geoNet(t, 5, 5)
+	geoB := everyThird(geo.N())
+	dual, m := graph.DualClique(32, 2)
+	var dualB []graph.NodeID
+	for u := 0; u < m.SizeA; u++ {
+		dualB = append(dualB, u)
+	}
+	cases := []tc{
+		{"decay-global", DecayGlobal{}, dual, radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}},
+		{"permuted-global", PermutedGlobal{}, dual, radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}},
+		{"decay-local", DecayLocal{}, dual, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: dualB}},
+		{"geo-local", GeoLocal{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: geoB}},
+		{"geo-local-noseeds", GeoLocal{DisableSeedSharing: true}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: geoB}},
+		{"round-robin", RoundRobin{}, dual, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: dualB}},
+		{"aloha", Aloha{P: 0.3}, dual, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: dualB}},
+		{"permuted-local-uncoordinated", PermutedLocalUncoordinated{}, dual, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: dualB}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			probe := &probeLink{t: t}
+			_, err := radio.Run(radio.Config{
+				Net:              c.net,
+				Algorithm:        c.alg,
+				Spec:             c.spec,
+				Link:             probe,
+				Seed:             13,
+				MaxRounds:        3000,
+				IgnoreCompletion: true, // keep sampling after completion
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if probe.expected == 0 && probe.actual == 0 {
+				t.Fatal("algorithm never declared nor made any transmission")
+			}
+			// 6σ binomial tolerance (σ ≤ sqrt(expected)).
+			tol := 6 * math.Sqrt(probe.expected+1)
+			if diff := math.Abs(probe.expected - float64(probe.actual)); diff > tol {
+				t.Fatalf("declared expectation %.1f vs realized %d transmissions (diff %.1f > tol %.1f)",
+					probe.expected, probe.actual, diff, tol)
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements the broadcast algorithms of the paper and its
+// baselines:
+//
+//   - Decay and the Bar-Yehuda–Goldreich–Itai (BGI) global broadcast [2],
+//     the optimal protocol-model algorithm (O(D log n + log² n) rounds).
+//   - Decay-based local broadcast [8] (O(log n log Δ) in the protocol model).
+//   - Permuted decay and the oblivious-model global broadcast of Section
+//     4.1: the source appends runtime-generated permutation bits to its
+//     message; receivers use them to permute the decay probability schedule,
+//     defeating oblivious link processes (Theorem 4.1).
+//   - The geographic local broadcast algorithm of Section 4.3: a seed
+//     dissemination stage coordinates nearby nodes, then seed groups run
+//     permuted decay jointly (Theorem 4.6, O(log² n log Δ) rounds).
+//   - Round robin and fixed-probability (ALOHA) baselines.
+//
+// Every process implements radio.TransmitProber: its transmit decision each
+// round is a Bernoulli trial whose probability is determined by state, which
+// is exactly the information the online adaptive adversary may use.
+package core
+
+import (
+	"math"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// DecayGlobal is the BGI global broadcast algorithm [2]: once informed (and
+// aligned to a phase boundary), a node cycles through the transmit
+// probabilities 1/2, 1/4, ..., 1/n, one per round, restarting each phase.
+// The fixed, globally known probability schedule is what adaptive and
+// sampling-oblivious adversaries exploit; compare PermutedGlobal.
+type DecayGlobal struct{}
+
+var _ radio.Algorithm = DecayGlobal{}
+
+// Name implements radio.Algorithm.
+func (DecayGlobal) Name() string { return "decay-global" }
+
+// NewProcesses implements radio.Algorithm.
+func (DecayGlobal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	k := bitrand.LogN(n)
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		p := &decayGlobalProc{levels: k}
+		if u == spec.Source {
+			p.msg = &radio.Message{Origin: spec.Source}
+			p.informedAt = 0
+			p.isSource = true
+		} else {
+			p.informedAt = -1
+		}
+		procs[u] = p
+	}
+	return procs
+}
+
+type decayGlobalProc struct {
+	levels     int
+	msg        *radio.Message
+	informedAt int // -1 until informed
+	isSource   bool
+}
+
+// active reports whether the node participates in round r: it must be
+// informed and past its first phase boundary after becoming informed.
+func (p *decayGlobalProc) active(r int) bool {
+	if p.informedAt < 0 {
+		return false
+	}
+	// Align to the first multiple of levels at or after informedAt, except
+	// the source (informedAt 0) which starts immediately.
+	start := ((p.informedAt + p.levels - 1) / p.levels) * p.levels
+	return r >= start
+}
+
+// prob returns the decay probability for round r: 2^{-(1 + r mod levels)}.
+func (p *decayGlobalProc) prob(r int) float64 {
+	i := r%p.levels + 1
+	return math.Ldexp(1, -i)
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *decayGlobalProc) TransmitProb(r int) float64 {
+	// As in [2], the source transmits deterministically in the first round;
+	// every neighbor hears it uncontested, so the protocol starts from a
+	// fixed informed frontier.
+	if p.isSource && r == 0 {
+		return 1
+	}
+	if !p.active(r) {
+		return 0
+	}
+	return p.prob(r)
+}
+
+// Step implements radio.Process.
+func (p *decayGlobalProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if p.isSource && r == 0 {
+		return radio.Transmit(p.msg)
+	}
+	if !p.active(r) {
+		return radio.Listen()
+	}
+	if rng.Coin(p.prob(r)) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *decayGlobalProc) Deliver(r int, msg *radio.Message) {
+	if msg == nil || p.informedAt >= 0 {
+		return
+	}
+	p.msg = msg
+	p.informedAt = r + 1 // usable from the next round
+}
+
+// DecayLocal is the decay-based local broadcast of [8] for the protocol
+// model: each broadcaster cycles through the probabilities 1/2, ...,
+// 2^{-(log Δ + 1)} in lockstep, one per round, repeating forever. For every
+// receiver, one probability level roughly inverts its broadcaster-neighbor
+// count, so every receiver is served once per sweep with constant
+// probability; O(log n) sweeps suffice w.h.p. (Θ(log n log Δ) rounds).
+type DecayLocal struct{}
+
+var _ radio.Algorithm = DecayLocal{}
+
+// Name implements radio.Algorithm.
+func (DecayLocal) Name() string { return "decay-local" }
+
+// NewProcesses implements radio.Algorithm.
+func (DecayLocal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	// Probability levels go down to ~1/(2Δ): enough for the densest
+	// receiver neighborhood.
+	levels := bitrand.Log2Ceil(net.MaxDegree()) + 1
+	if levels < 1 {
+		levels = 1
+	}
+	inB := make([]bool, n)
+	for _, u := range spec.Broadcasters {
+		inB[u] = true
+	}
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		if inB[u] {
+			procs[u] = &decayLocalProc{levels: levels, msg: &radio.Message{Origin: u}}
+		} else {
+			procs[u] = silentProc{}
+		}
+	}
+	return procs
+}
+
+type decayLocalProc struct {
+	levels int
+	msg    *radio.Message
+}
+
+func (p *decayLocalProc) prob(r int) float64 {
+	return math.Ldexp(1, -(r%p.levels + 1))
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *decayLocalProc) TransmitProb(r int) float64 { return p.prob(r) }
+
+// Step implements radio.Process.
+func (p *decayLocalProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if rng.Coin(p.prob(r)) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *decayLocalProc) Deliver(int, *radio.Message) {}
+
+// silentProc is a node with no role: it listens forever.
+type silentProc struct{}
+
+// TransmitProb implements radio.TransmitProber.
+func (silentProc) TransmitProb(int) float64 { return 0 }
+
+// Step implements radio.Process.
+func (silentProc) Step(int, *bitrand.Source) radio.Action { return radio.Listen() }
+
+// Deliver implements radio.Process.
+func (silentProc) Deliver(int, *radio.Message) {}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// captureAlg wraps an Algorithm and keeps the produced processes for
+// white-box inspection.
+type captureAlg struct {
+	inner radio.Algorithm
+	procs []radio.Process
+}
+
+func (c *captureAlg) Name() string { return c.inner.Name() }
+
+func (c *captureAlg) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	c.procs = c.inner.NewProcesses(net, spec, rng)
+	return c.procs
+}
+
+func geoNet(t *testing.T, w, h int) *graph.Dual {
+	t.Helper()
+	src := bitrand.New(uint64(w*100 + h))
+	d := graph.GeographicGrid(src, w, h, 0.7, 1.5)
+	if !graph.Connected(d.G()) {
+		t.Fatal("test geo network disconnected")
+	}
+	return d
+}
+
+func everyThird(n int) []graph.NodeID {
+	var b []graph.NodeID
+	for u := 0; u < n; u += 3 {
+		b = append(b, u)
+	}
+	return b
+}
+
+func TestGeoLocalSolvesProtocolModel(t *testing.T) {
+	net := geoNet(t, 6, 6)
+	for seed := uint64(0); seed < 3; seed++ {
+		res := runLocal(t, GeoLocal{}, net, everyThird(net.N()), nil, seed, 60000)
+		if !res.Solved {
+			t.Fatalf("seed %d: geo local incomplete after %d rounds", seed, res.Rounds)
+		}
+	}
+}
+
+func TestGeoLocalSolvesUnderRandomLoss(t *testing.T) {
+	net := geoNet(t, 6, 6)
+	link := struct{ radio.ObliviousLink }{randomLossLink(0.5)}
+	for seed := uint64(0); seed < 2; seed++ {
+		res := runLocal(t, GeoLocal{}, net, everyThird(net.N()), link, seed, 60000)
+		if !res.Solved {
+			t.Fatalf("seed %d: geo local incomplete under random loss", seed)
+		}
+	}
+}
+
+// randomLossLink is a minimal local copy to avoid an import cycle with the
+// adversary package in tests (core must not depend on adversary).
+type randomLossLink float64
+
+func (p randomLossLink) CommitSchedule(env *radio.Env) radio.Schedule {
+	seed := env.Rng.Uint64()
+	return radio.ScheduleFunc(func(r int) graph.EdgeSelector {
+		return graph.SelectFunc{F: func(u, v graph.NodeID) bool {
+			k := graph.MakeEdgeKey(u, v)
+			return bitrand.HashFloat(seed, uint64(r), uint64(k.U), uint64(k.V)) < float64(p)
+		}}
+	})
+}
+
+func TestGeoLocalEveryoneCommitsAfterInit(t *testing.T) {
+	net := geoNet(t, 6, 6)
+	cap := &captureAlg{inner: GeoLocal{}}
+	par := GeoLocal{}.params(net)
+	_, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: cap,
+		Spec:      radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyThird(net.N())},
+		Seed:      5,
+		MaxRounds: par.initRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, p := range cap.procs {
+		gp := p.(*geoLocalProc)
+		if gp.seed == nil {
+			t.Fatalf("node %d uncommitted after initialization stage", u)
+		}
+	}
+}
+
+func TestGeoLocalSeedsAreShared(t *testing.T) {
+	net := geoNet(t, 7, 7)
+	cap := &captureAlg{inner: GeoLocal{}}
+	par := GeoLocal{}.params(net)
+	_, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: cap,
+		Spec:      radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyThird(net.N())},
+		Seed:      6,
+		MaxRounds: par.initRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[*bitrand.BitString]int)
+	for _, p := range cap.procs {
+		gp := p.(*geoLocalProc)
+		seeds[gp.seed]++
+	}
+	if len(seeds) >= net.N() {
+		t.Fatalf("no seed sharing at all: %d distinct seeds for %d nodes", len(seeds), net.N())
+	}
+	shared := 0
+	for _, count := range seeds {
+		if count > 1 {
+			shared += count
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no node shares a seed with any other")
+	}
+}
+
+func TestGeoLocalSeedAblationProducesDistinctSeeds(t *testing.T) {
+	net := geoNet(t, 6, 6)
+	cap := &captureAlg{inner: GeoLocal{DisableSeedSharing: true}}
+	par := GeoLocal{}.params(net)
+	_, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: cap,
+		Spec:      radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyThird(net.N())},
+		Seed:      6,
+		MaxRounds: par.initRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[*bitrand.BitString]bool)
+	for _, p := range cap.procs {
+		gp := p.(*geoLocalProc)
+		if gp.seed == nil {
+			t.Fatal("uncommitted node in ablation run")
+		}
+		if seeds[gp.seed] {
+			t.Fatal("seed ablation still shares seed objects")
+		}
+		seeds[gp.seed] = true
+	}
+}
+
+func TestGeoLocalParams(t *testing.T) {
+	net := geoNet(t, 6, 6)
+	par := GeoLocal{}.params(net)
+	if par.lDelta < 1 || par.logN < 1 {
+		t.Fatalf("degenerate params: %+v", par)
+	}
+	if par.initRounds != par.lDelta*par.phaseLen {
+		t.Fatal("init stage length inconsistent")
+	}
+	if par.blockLen != PermutedDecayGamma*par.lDelta {
+		t.Fatal("block length inconsistent")
+	}
+	// Election probabilities sweep upward and end at 1/2.
+	prev := 0.0
+	for i := 0; i < par.lDelta; i++ {
+		p := par.electionProb(i)
+		if p <= prev {
+			t.Fatalf("election prob not increasing at phase %d", i)
+		}
+		prev = p
+	}
+	if prev != 0.5 {
+		t.Fatalf("final election prob = %v, want 0.5", prev)
+	}
+}
+
+func TestGeoLocalTransmitProbZeroMeansSilent(t *testing.T) {
+	net := geoNet(t, 5, 5)
+	cap := &captureAlg{inner: GeoLocal{}}
+	spec := radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyThird(net.N())}
+	procs := cap.NewProcesses(net, spec, bitrand.New(3))
+	rng := bitrand.New(4)
+	// Drive Step directly for a few rounds: whenever TransmitProb reports
+	// 0, Step must listen.
+	for r := 0; r < 200; r++ {
+		for _, p := range procs {
+			gp := p.(*geoLocalProc)
+			prob := gp.TransmitProb(r)
+			act := gp.Step(r, rng)
+			if prob == 0 && act.Transmit {
+				t.Fatalf("round %d: transmitted despite declared prob 0", r)
+			}
+		}
+	}
+}
+
+func TestLdexp1(t *testing.T) {
+	if ldexp1(0) != 1 || ldexp1(-1) != 0.5 || ldexp1(-3) != 0.125 {
+		t.Fatal("ldexp1 wrong")
+	}
+}
+
+func TestGeoLocalNames(t *testing.T) {
+	if (GeoLocal{}).Name() == (GeoLocal{DisableSeedSharing: true}).Name() {
+		t.Fatal("ablation must carry a distinct name")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// PermutedDecayGamma is the paper's γ parameter for the permuted decay
+// subroutine: each call runs for γ·log n rounds and succeeds with
+// probability > 1/2 (Lemma 4.2 requires γ ≥ 16).
+const PermutedDecayGamma = 16
+
+// PermSchedule exposes the deterministic structure shared by every node that
+// runs permuted decay from the same bit string: for a global round r, all
+// participants must agree on the probability index so their behavior is
+// coordinated (Lemma 4.2). Indices are derived from fixed positions of the
+// bit string, so two nodes reading the same string at the same round agree
+// without any cursor state.
+type PermSchedule struct {
+	bits    *bitrand.BitString
+	levels  int // probability indices range over [1, levels]
+	bitsPer int // bits consumed per index (ceil(log2 levels))
+	gamma   int
+	// blockLen is the length in rounds of one permuted decay call.
+	blockLen int
+	// numBlocks is the number of distinct calls the string supports before
+	// indices wrap (the paper's 2·log n calls for global broadcast).
+	numBlocks int
+}
+
+// NewPermSchedule builds the Section 4.1 schedule over the given bits for
+// networks of size n supporting numBlocks distinct calls: probability levels
+// 2^{-1}..2^{-log n}, γ = 16, block length 16·log n.
+func NewPermSchedule(bits *bitrand.BitString, n, numBlocks int) *PermSchedule {
+	return NewPermScheduleLevels(bits, bitrand.LogN(n), numBlocks, PermutedDecayGamma)
+}
+
+// NewPermScheduleLevels builds a schedule with an explicit probability level
+// count and γ. The Section 4.3 algorithm decays only over log Δ levels — the
+// densest competing-broadcaster neighborhood — giving blocks of γ·log Δ
+// rounds.
+func NewPermScheduleLevels(bits *bitrand.BitString, levels, numBlocks, gamma int) *PermSchedule {
+	if levels < 1 {
+		levels = 1
+	}
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	if gamma < 1 {
+		gamma = 1
+	}
+	return &PermSchedule{
+		bits:      bits,
+		levels:    levels,
+		bitsPer:   bitrand.BitsFor(levels),
+		gamma:     gamma,
+		blockLen:  gamma * levels,
+		numBlocks: numBlocks,
+	}
+}
+
+// BlockLen returns the length in rounds of one permuted decay call.
+func (s *PermSchedule) BlockLen() int { return s.blockLen }
+
+// Levels returns the number of probability levels.
+func (s *PermSchedule) Levels() int { return s.levels }
+
+// BitsLen returns the number of bits the schedule reads before wrapping:
+// numBlocks · blockLen · bitsPer.
+func (s *PermSchedule) BitsLen() int { return s.numBlocks * s.blockLen * s.bitsPer }
+
+// GlobalBitsLen returns the number of bits the Section 4.1 source string
+// must carry for n and numBlocks: numBlocks · 16·log n · loglog n. The
+// paper's 32·log²n·loglog n corresponds to numBlocks = 2·log n.
+func GlobalBitsLen(n, numBlocks int) int {
+	logN := bitrand.LogN(n)
+	return numBlocks * PermutedDecayGamma * logN * bitrand.BitsFor(logN)
+}
+
+// Index returns the shared probability index i ∈ [1, levels] for global
+// round r. All nodes holding the same bit string compute the same value.
+func (s *PermSchedule) Index(r int) int {
+	if r < 0 {
+		r = 0
+	}
+	block := (r / s.blockLen) % s.numBlocks
+	j := r % s.blockLen
+	off := (block*s.blockLen + j) * s.bitsPer
+	// Assemble the index bits read at fixed positions (wrapping within the
+	// string if undersized).
+	n := s.bits.Len()
+	if n == 0 {
+		return 1
+	}
+	var v uint64
+	for b := 0; b < s.bitsPer; b++ {
+		v |= s.bits.At((off+b)%n) << uint(b)
+	}
+	// Map to [1, levels]. With levels a power of two the map is uniform.
+	return int(v%uint64(s.levels)) + 1
+}
+
+// Prob returns the shared transmit probability 2^{-Index(r)} for round r.
+func (s *PermSchedule) Prob(r int) float64 {
+	return math.Ldexp(1, -s.Index(r))
+}
+
+// PermutedGlobal is the oblivious-model global broadcast of Section 4.1. The
+// source draws S = 32·log²n·loglogn random bits at runtime (after the
+// adversary has committed) and appends them to its message. Informed nodes,
+// aligned to 16·logn-round block boundaries, run permuted decay using the
+// shared bits: every participant transmits with the same probability
+// 2^{-i(r)} where i(r) is read from S, so the schedule is unpredictable to
+// an oblivious adversary while remaining coordinated (Theorem 4.1:
+// O(D log n + log² n) rounds).
+type PermutedGlobal struct{}
+
+var _ radio.Algorithm = PermutedGlobal{}
+
+// Name implements radio.Algorithm.
+func (PermutedGlobal) Name() string { return "permuted-global" }
+
+// NewProcesses implements radio.Algorithm.
+func (PermutedGlobal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	numBlocks := 2 * bitrand.LogN(n)
+	bits := bitrand.NewBitString(rng, GlobalBitsLen(n, numBlocks))
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		p := &permGlobalProc{n: n, numBlocks: numBlocks, informedAt: -1}
+		if u == spec.Source {
+			p.informedAt = 0
+			p.sched = NewPermSchedule(bits, n, numBlocks)
+			p.msg = &radio.Message{Origin: spec.Source, Payload: bits}
+			p.isSource = true
+		}
+		procs[u] = p
+	}
+	return procs
+}
+
+type permGlobalProc struct {
+	n          int
+	numBlocks  int
+	isSource   bool
+	informedAt int
+	sched      *PermSchedule
+	msg        *radio.Message
+}
+
+// startRound returns the first block boundary at or after the node learned
+// the message.
+func (p *permGlobalProc) startRound() int {
+	if p.informedAt <= 0 {
+		return 0
+	}
+	bl := p.sched.BlockLen()
+	return ((p.informedAt + bl - 1) / bl) * bl
+}
+
+func (p *permGlobalProc) activeProb(r int) float64 {
+	if p.informedAt < 0 || p.sched == nil {
+		return 0
+	}
+	if p.isSource {
+		// The source transmits exactly once, in round 0, then is done.
+		if r == 0 {
+			return 1
+		}
+		return 0
+	}
+	if r < p.startRound() {
+		return 0
+	}
+	return p.sched.Prob(r)
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *permGlobalProc) TransmitProb(r int) float64 { return p.activeProb(r) }
+
+// Step implements radio.Process.
+func (p *permGlobalProc) Step(r int, rng *bitrand.Source) radio.Action {
+	prob := p.activeProb(r)
+	if prob <= 0 {
+		return radio.Listen()
+	}
+	if prob >= 1 || rng.Coin(prob) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *permGlobalProc) Deliver(r int, msg *radio.Message) {
+	if msg == nil || p.informedAt >= 0 {
+		return
+	}
+	bits, ok := msg.Payload.(*bitrand.BitString)
+	if !ok {
+		return // foreign message; ignore
+	}
+	p.informedAt = r + 1
+	p.sched = NewPermSchedule(bits, p.n, p.numBlocks)
+	p.msg = msg
+}
+
+// PermutedLocalUncoordinated is the natural-but-insufficient adaptation of
+// permuted decay to local broadcast: every broadcaster draws its own private
+// permutation bits and runs permuted decay independently. Without shared
+// seeds nearby broadcasters cannot coordinate, and on high-independence
+// topologies (the bracelet network) the oblivious sampling adversary defeats
+// it: Theorem 4.3 shows Ω(√n/log n) is unavoidable. It serves as the
+// seed-ablation baseline for the Section 4.3 algorithm.
+type PermutedLocalUncoordinated struct{}
+
+var _ radio.Algorithm = PermutedLocalUncoordinated{}
+
+// Name implements radio.Algorithm.
+func (PermutedLocalUncoordinated) Name() string { return "permuted-local-uncoordinated" }
+
+// NewProcesses implements radio.Algorithm.
+func (PermutedLocalUncoordinated) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	numBlocks := 2 * bitrand.LogN(n)
+	inB := make([]bool, n)
+	for _, u := range spec.Broadcasters {
+		inB[u] = true
+	}
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		if !inB[u] {
+			procs[u] = silentProc{}
+			continue
+		}
+		bits := bitrand.NewBitString(rng, GlobalBitsLen(n, numBlocks))
+		procs[u] = &permLocalProc{
+			sched: NewPermSchedule(bits, n, numBlocks),
+			msg:   &radio.Message{Origin: u},
+		}
+	}
+	return procs
+}
+
+type permLocalProc struct {
+	sched *PermSchedule
+	msg   *radio.Message
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *permLocalProc) TransmitProb(r int) float64 { return p.sched.Prob(r) }
+
+// Step implements radio.Process.
+func (p *permLocalProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if rng.Coin(p.sched.Prob(r)) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *permLocalProc) Deliver(int, *radio.Message) {}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitrand"
+)
+
+func TestPermScheduleIndexRange(t *testing.T) {
+	src := bitrand.New(1)
+	for _, n := range []int{2, 8, 64, 1000} {
+		bits := bitrand.NewBitString(src, GlobalBitsLen(n, 4))
+		s := NewPermSchedule(bits, n, 4)
+		logN := bitrand.LogN(n)
+		for r := 0; r < 5*s.BlockLen(); r++ {
+			i := s.Index(r)
+			if i < 1 || i > logN {
+				t.Fatalf("n=%d r=%d: index %d out of [1,%d]", n, r, i, logN)
+			}
+			p := s.Prob(r)
+			if math.Abs(p-math.Ldexp(1, -i)) > 1e-15 {
+				t.Fatalf("Prob(%d) = %v, want 2^-%d", r, p, i)
+			}
+		}
+	}
+}
+
+func TestPermScheduleSharedAcrossReaders(t *testing.T) {
+	src := bitrand.New(2)
+	bits := bitrand.NewBitString(src, GlobalBitsLen(256, 8))
+	a := NewPermSchedule(bits, 256, 8)
+	b := NewPermSchedule(bits.Clone(), 256, 8)
+	for r := 0; r < 1000; r++ {
+		if a.Index(r) != b.Index(r) {
+			t.Fatalf("round %d: readers of the same bits disagree", r)
+		}
+	}
+}
+
+func TestPermScheduleIndexUniform(t *testing.T) {
+	// With log n a power of two, the index must be uniform over [1, log n].
+	src := bitrand.New(3)
+	n := 256 // log n = 8
+	bits := bitrand.NewBitString(src, GlobalBitsLen(n, 2*bitrand.LogN(n)))
+	s := NewPermSchedule(bits, n, 2*bitrand.LogN(n))
+	counts := make([]int, 9)
+	total := s.BitsLen() / bitrand.BitsFor(8)
+	for r := 0; r < total; r++ {
+		counts[s.Index(r)]++
+	}
+	want := float64(total) / 8
+	for i := 1; i <= 8; i++ {
+		if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want) {
+			t.Fatalf("index %d occurred %d times, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestPermScheduleEmptyBits(t *testing.T) {
+	bits := bitrand.NewBitString(bitrand.New(1), 0)
+	s := NewPermSchedule(bits, 16, 2)
+	if got := s.Index(5); got != 1 {
+		t.Fatalf("empty bits index = %d, want 1", got)
+	}
+}
+
+func TestPermScheduleLevels(t *testing.T) {
+	bits := bitrand.NewBitString(bitrand.New(4), 4096)
+	s := NewPermScheduleLevels(bits, 4, 3, 8)
+	if s.BlockLen() != 32 || s.Levels() != 4 {
+		t.Fatalf("block %d levels %d", s.BlockLen(), s.Levels())
+	}
+	for r := 0; r < 200; r++ {
+		if i := s.Index(r); i < 1 || i > 4 {
+			t.Fatalf("index %d out of [1,4]", i)
+		}
+	}
+	// Degenerate parameters clamp.
+	s2 := NewPermScheduleLevels(bits, 0, 0, 0)
+	if s2.Levels() != 1 || s2.BlockLen() != 1 {
+		t.Fatalf("clamping failed: %d %d", s2.Levels(), s2.BlockLen())
+	}
+}
+
+func TestGlobalBitsLenMatchesPaper(t *testing.T) {
+	// For n a power of two, numBlocks = 2·log n gives the paper's
+	// 32·log²n·loglogn bits.
+	n := 1024
+	logN := bitrand.LogN(n) // 10
+	got := GlobalBitsLen(n, 2*logN)
+	want := 32 * logN * logN * bitrand.BitsFor(logN)
+	if got != want {
+		t.Fatalf("GlobalBitsLen = %d, want %d", got, want)
+	}
+}
+
+// TestLemma42ReceiveProbability Monte-Carlo checks Lemma 4.2: if a nonempty
+// set I_G of reliable neighbors (plus any adversarial set I_G' of unreliable
+// neighbors) runs one permuted decay call with shared bits, the receiver
+// hears a message with probability > 1/2. The adversary here picks, each
+// round, the worst prefix of I_G' to include, knowing the realized
+// transmissions — which is stronger than the oblivious adversary the lemma
+// assumes, so clearing 1/2 under it is conservative... except a fully
+// realized-coin adversary could always block; we instead give the adversary
+// a per-round random subset plus the always-on I_G, which matches the
+// lemma's setting (adversary fixes I_r ⊇ I_G obliviously).
+func TestLemma42ReceiveProbability(t *testing.T) {
+	src := bitrand.New(99)
+	n := 256
+	logN := bitrand.LogN(n)
+	const trials = 400
+	for _, shape := range []struct {
+		name    string
+		ig, igp int
+	}{
+		{"one-reliable", 1, 0},
+		{"many-reliable", 20, 0},
+		{"mixed", 3, 40},
+		{"huge-unreliable", 1, 150},
+	} {
+		success := 0
+		for trial := 0; trial < trials; trial++ {
+			bits := bitrand.NewBitString(src, GlobalBitsLen(n, 1))
+			sched := NewPermSchedule(bits, n, 1)
+			// The oblivious adversary fixes, per round, which unreliable
+			// senders are connected (a hash of the round — independent of
+			// the bits, which are drawn after it commits).
+			got := false
+			for r := 0; r < sched.BlockLen() && !got; r++ {
+				p := sched.Prob(r)
+				transmitters := 0
+				for s := 0; s < shape.ig; s++ {
+					if src.Coin(p) {
+						transmitters++
+					}
+				}
+				for s := 0; s < shape.igp; s++ {
+					connected := bitrand.HashFloat(uint64(trial), uint64(r), uint64(s)) < 0.5
+					if connected && src.Coin(p) {
+						transmitters++
+					}
+				}
+				if transmitters == 1 {
+					got = true
+				}
+			}
+			if got {
+				success++
+			}
+		}
+		rate := float64(success) / trials
+		if rate <= 0.5 {
+			t.Errorf("%s: receive rate %.3f, Lemma 4.2 wants > 0.5", shape.name, rate)
+		}
+	}
+	_ = logN
+}

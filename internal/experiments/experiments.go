@@ -1,0 +1,150 @@
+// Package experiments defines the reproduction harness: one registered
+// experiment per cell of the paper's Figure 1 plus checks of the supporting
+// lemmas and two ablations. Each experiment runs parameter sweeps over
+// network size with repeated seeded trials and reports a table whose shape
+// is compared against the paper's claim (growth exponents, ratios to the
+// claimed bounds, separations between rows).
+//
+// Experiments run at two scales: Quick (seconds; used by tests and smoke
+// runs) and Full (minutes; regenerates the numbers recorded in
+// EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Quick selects reduced sweeps for fast runs.
+	Quick bool
+	// Trials is the number of independent seeds per sweep point (default 5
+	// quick, 15 full).
+	Trials int
+	// BaseSeed offsets all trial seeds, for variance studies.
+	BaseSeed uint64
+}
+
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return 5
+	}
+	return 15
+}
+
+// Series is a named scaling curve measured by an experiment, for plotting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Result is an experiment's outcome.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	// Table holds the measured rows.
+	Table *stats.Table
+	// Series holds the scaling curves behind the shape fits (x = size
+	// parameter, y = median rounds), for plotting.
+	Series []Series
+	// Notes carry derived observations (growth exponents, separations) and
+	// the verdict line.
+	Notes []string
+	// Pass reports whether the measured shape matches the paper's claim
+	// under the experiment's own criterion.
+	Pass bool
+}
+
+// addSeries appends a named scaling curve.
+func (r *Result) addSeries(name string, x, y []float64) {
+	if len(x) == 0 {
+		return
+	}
+	r.Series = append(r.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(cfg Config) (*Result, error)
+}
+
+// registry is populated by register calls in this package's files.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// trialOutcome aggregates repeated runs of one configuration.
+type trialOutcome struct {
+	MedianRounds float64
+	MeanRounds   float64
+	Solved       int
+	Trials       int
+	P90          float64
+}
+
+// runTrials executes the config-factory over `trials` seeds and aggregates.
+// Unsolved runs contribute their MaxRounds as a (censored) round count.
+// Trials are independent seeded executions, so they run on a worker pool;
+// results are identical to sequential execution.
+func runTrials(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
+	return runTrialsParallel(mk, trials, baseSeed)
+}
+
+// runTrialsSequential is the single-threaded reference used to verify the
+// parallel runner.
+func runTrialsSequential(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
+	out := trialOutcome{Trials: trials}
+	rounds := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		res, err := radio.Run(mk(baseSeed + uint64(i) + 1))
+		if err != nil {
+			return out, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if res.Solved {
+			out.Solved++
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	s := stats.Summarize(rounds)
+	out.MedianRounds = s.Median
+	out.MeanRounds = s.Mean
+	out.P90 = s.P90
+	return out, nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS: measured shape matches the paper's claim"
+	}
+	return "FAIL: measured shape deviates from the paper's claim"
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ABL-permutation",
+		"ABL-seeds",
+		"EXT-gossip",
+		"EXT-leader",
+		"F1-oblivious-global",
+		"F1-oblivious-local-general",
+		"F1-oblivious-local-geo",
+		"F1-offline-global",
+		"F1-offline-local",
+		"F1-online-global",
+		"F1-online-local",
+		"F1-static-global",
+		"F1-static-local",
+		"L3.2-hitting",
+		"L4.2-permdecay",
+		"T3.1-reduction",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Run == nil || e.Title == "" || e.PaperClaim == "" {
+			t.Fatalf("experiment %q incompletely registered", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F1-static-global"); !ok {
+		t.Fatal("known id not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	if (Config{Quick: true}).trials() != 5 {
+		t.Fatal("quick default trials")
+	}
+	if (Config{}).trials() != 15 {
+		t.Fatal("full default trials")
+	}
+	if (Config{Trials: 2}).trials() != 2 {
+		t.Fatal("explicit trials")
+	}
+}
+
+// TestQuickExperiments runs every registered experiment in quick mode and
+// requires a well-formed result AND a passing verdict: the quick scales are
+// chosen so each experiment's shape criterion already holds.
+func TestQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Quick: true, Trials: 3})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			if res.Table == nil || res.Table.NumRows() == 0 {
+				t.Fatal("empty result table")
+			}
+			if len(res.Notes) == 0 {
+				t.Fatal("no notes")
+			}
+			last := res.Notes[len(res.Notes)-1]
+			if !strings.HasPrefix(last, "PASS") && !strings.HasPrefix(last, "FAIL") {
+				t.Fatalf("missing verdict note: %q", last)
+			}
+			if !res.Pass {
+				t.Errorf("experiment did not match the paper's claim:\n%s\nnotes: %v", res.Table, res.Notes)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+// runTrialsParallel is runTrials with a bounded worker pool: trials are
+// independent seeded executions, so they parallelize embarrassingly. Results
+// are identical to the sequential runner (each trial's seed fully determines
+// its execution); only wall-clock changes.
+func runTrialsParallel(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
+	out := trialOutcome{Trials: trials}
+	if trials <= 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	type one struct {
+		rounds float64
+		solved bool
+		err    error
+	}
+	results := make([]one, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := radio.Run(mk(baseSeed + uint64(i) + 1))
+				results[i] = one{rounds: float64(res.Rounds), solved: res.Solved, err: err}
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	rounds := make([]float64, 0, trials)
+	for i, r := range results {
+		if r.err != nil {
+			return out, fmt.Errorf("trial %d: %w", i, r.err)
+		}
+		if r.solved {
+			out.Solved++
+		}
+		rounds = append(rounds, r.rounds)
+	}
+	s := stats.Summarize(rounds)
+	out.MedianRounds = s.Median
+	out.MeanRounds = s.Mean
+	out.P90 = s.P90
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func testTrialConfig(seed uint64) radio.Config {
+	net := graph.UniformDual(graph.Clique(24))
+	return radio.Config{
+		Net:       net,
+		Algorithm: core.DecayGlobal{},
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Seed:      seed,
+		MaxRounds: 10000,
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	par, err := runTrialsParallel(testTrialConfig, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := runTrialsSequential(testTrialConfig, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Solved != seq.Solved || par.Trials != seq.Trials {
+		t.Fatalf("parallel %+v != sequential %+v", par, seq)
+	}
+	if math.Abs(par.MedianRounds-seq.MedianRounds) > 1e-9 ||
+		math.Abs(par.MeanRounds-seq.MeanRounds) > 1e-9 ||
+		math.Abs(par.P90-seq.P90) > 1e-9 {
+		t.Fatalf("aggregates diverge: parallel %+v vs sequential %+v", par, seq)
+	}
+}
+
+func TestParallelZeroTrials(t *testing.T) {
+	out, err := runTrialsParallel(testTrialConfig, 0, 0)
+	if err != nil || out.Trials != 0 {
+		t.Fatalf("zero trials: %+v, %v", out, err)
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	bad := func(seed uint64) radio.Config {
+		return radio.Config{} // nil network: invalid
+	}
+	if _, err := runTrialsParallel(bad, 4, 0); err == nil {
+		t.Fatal("invalid config error not propagated")
+	}
+}

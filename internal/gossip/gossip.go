@@ -1,0 +1,161 @@
+// Package gossip extends the paper's broadcast toolbox to the problems its
+// conclusion names as future work: k-rumor spreading and leader election in
+// the dual graph model with weak adversaries.
+//
+// Both constructions reuse the Section 4.1 insight — runtime-generated
+// shared bits defeat oblivious link processes — by running k time-multiplexed
+// permuted-decay broadcasts: global round r serves rumor r mod k, and within
+// a rumor's subsequence the informed nodes behave exactly like the paper's
+// oblivious-model global broadcast, using bits the rumor's origin drew at
+// runtime and ships inside its message. Leader election layers a
+// highest-rank-wins rule on top.
+package gossip
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// TDM is the time-division k-gossip algorithm: rumor i is served in global
+// rounds r with r mod k = i, where the nodes informed of rumor i run
+// permuted decay on the rumor's own shared bits with subsequence round index
+// r / k. For k = 1 this degenerates to the Section 4.1 global broadcast.
+// Expected completion is O(k · (D·log n + log²n)) subsequence-scaled rounds
+// against oblivious adversaries.
+type TDM struct{}
+
+var _ radio.Algorithm = TDM{}
+
+// Name implements radio.Algorithm.
+func (TDM) Name() string { return "gossip-tdm" }
+
+// rumor is a message payload: the shared permutation bits of one rumor.
+type rumor struct {
+	bits *bitrand.BitString
+}
+
+// NewProcesses implements radio.Algorithm.
+func (TDM) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	k := len(spec.Sources)
+	numBlocks := 2 * bitrand.LogN(n)
+	srcIndex := make(map[graph.NodeID]int, k)
+	for i, s := range spec.Sources {
+		srcIndex[s] = i
+	}
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		p := &tdmProc{
+			n:         n,
+			k:         k,
+			numBlocks: numBlocks,
+			states:    make([]rumorState, k),
+		}
+		for i := range p.states {
+			p.states[i].informedAt = -1
+		}
+		if i, ok := srcIndex[u]; ok {
+			bits := bitrand.NewBitString(rng, core.GlobalBitsLen(n, numBlocks))
+			p.states[i] = rumorState{
+				informedAt: 0,
+				sched:      core.NewPermSchedule(bits, n, numBlocks),
+				msg:        &radio.Message{Origin: u, Payload: rumor{bits: bits}},
+				isOrigin:   true,
+			}
+		}
+		procs[u] = p
+	}
+	return procs
+}
+
+type rumorState struct {
+	informedAt int
+	sched      *core.PermSchedule
+	msg        *radio.Message
+	isOrigin   bool
+	originSent bool
+}
+
+type tdmProc struct {
+	n, k      int
+	numBlocks int
+	states    []rumorState
+}
+
+// slot returns the rumor index served in global round r and the rumor-local
+// round index.
+func (p *tdmProc) slot(r int) (idx, sub int) { return r % p.k, r / p.k }
+
+// startSub returns the first aligned subsequence round for a rumor state.
+func (p *tdmProc) startSub(st *rumorState) int {
+	if st.informedAt <= 0 {
+		return 0
+	}
+	// Subsequence round at which the rumor was learned, rounded up to the
+	// next permuted-decay block boundary.
+	sub := (st.informedAt + p.k - 1) / p.k
+	bl := st.sched.BlockLen()
+	return ((sub + bl - 1) / bl) * bl
+}
+
+func (p *tdmProc) prob(r int) (float64, *rumorState) {
+	idx, sub := p.slot(r)
+	st := &p.states[idx]
+	if st.informedAt < 0 || st.sched == nil {
+		return 0, st
+	}
+	if st.isOrigin {
+		// Origins transmit deterministically in their first slot (as the
+		// Section 4.1 source does in round 0), then join permuted decay.
+		if !st.originSent {
+			return 1, st
+		}
+	}
+	if sub < p.startSub(st) {
+		return 0, st
+	}
+	return st.sched.Prob(sub), st
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *tdmProc) TransmitProb(r int) float64 {
+	prob, _ := p.prob(r)
+	return prob
+}
+
+// Step implements radio.Process.
+func (p *tdmProc) Step(r int, rng *bitrand.Source) radio.Action {
+	prob, st := p.prob(r)
+	if prob <= 0 {
+		return radio.Listen()
+	}
+	if prob >= 1 {
+		st.originSent = true
+		return radio.Transmit(st.msg)
+	}
+	if rng.Coin(prob) {
+		return radio.Transmit(st.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *tdmProc) Deliver(r int, msg *radio.Message) {
+	if msg == nil {
+		return
+	}
+	idx, _ := p.slot(r)
+	st := &p.states[idx]
+	if st.informedAt >= 0 {
+		return
+	}
+	pay, ok := msg.Payload.(rumor)
+	if !ok {
+		return
+	}
+	st.informedAt = r + 1
+	st.sched = core.NewPermSchedule(pay.bits, p.n, p.numBlocks)
+	st.msg = msg
+}

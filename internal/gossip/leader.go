@@ -1,0 +1,110 @@
+package gossip
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// LeaderElect is highest-rank-wins leader election in the dual graph model.
+// Every node u carries the deterministic rank Hash64(RankSeed, u); each node
+// tracks the best (rank, id) champion it has heard of (initially itself) and
+// relays the champion's claim with a decay-style probability schedule.
+// Messages carry Origin = champion id, so the execution is complete exactly
+// when every node has received a claim originating at the true maximum —
+// i.e. a global broadcast from a source nobody knows in advance.
+//
+// Leader(n) computes the true winner from the seed, letting a harness
+// configure the completion monitor (Spec.Source = Leader(n)) without leaking
+// anything to the processes: they only ever learn ranks through received
+// messages.
+type LeaderElect struct {
+	// RankSeed determines all ranks; zero is a valid seed.
+	RankSeed uint64
+}
+
+var _ radio.Algorithm = LeaderElect{}
+
+// Name implements radio.Algorithm.
+func (LeaderElect) Name() string { return "leader-elect" }
+
+// Rank returns node u's rank.
+func (a LeaderElect) Rank(u graph.NodeID) uint64 {
+	return bitrand.Hash64(a.RankSeed, 0x1eade5, uint64(u))
+}
+
+// Leader returns the argmax-rank node on n nodes: the node every correct
+// execution must converge on. Ties (probability ~2^-64) break toward the
+// smaller id.
+func (a LeaderElect) Leader(n int) graph.NodeID {
+	best, bestRank := 0, a.Rank(0)
+	for u := 1; u < n; u++ {
+		if r := a.Rank(u); r > bestRank {
+			best, bestRank = u, r
+		}
+	}
+	return best
+}
+
+// NewProcesses implements radio.Algorithm.
+func (a LeaderElect) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	levels := bitrand.LogN(n)
+	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		procs[u] = &leaderProc{
+			levels:   levels,
+			champ:    u,
+			champRnk: a.Rank(u),
+			msg:      &radio.Message{Origin: u, Payload: a.Rank(u)},
+		}
+	}
+	return procs
+}
+
+type leaderProc struct {
+	levels   int
+	champ    graph.NodeID
+	champRnk uint64
+	msg      *radio.Message
+}
+
+func (p *leaderProc) prob(r int) float64 {
+	// Decay sweep 1/2 ... 1/n: some level matches the local contention.
+	exp := r%p.levels + 1
+	v := 1.0
+	for i := 0; i < exp; i++ {
+		v /= 2
+	}
+	return v
+}
+
+// TransmitProb implements radio.TransmitProber.
+func (p *leaderProc) TransmitProb(r int) float64 { return p.prob(r) }
+
+// Step implements radio.Process.
+func (p *leaderProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if rng.Coin(p.prob(r)) {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+// Deliver implements radio.Process.
+func (p *leaderProc) Deliver(r int, msg *radio.Message) {
+	if msg == nil {
+		return
+	}
+	rank, ok := msg.Payload.(uint64)
+	if !ok {
+		return
+	}
+	if rank > p.champRnk || (rank == p.champRnk && msg.Origin < p.champ) {
+		p.champ = msg.Origin
+		p.champRnk = rank
+		p.msg = msg
+	}
+}
+
+// Champion exposes a process's current belief, for tests and reports.
+func (p *leaderProc) Champion() (graph.NodeID, uint64) { return p.champ, p.champRnk }

@@ -1,0 +1,263 @@
+// Package graph provides the network substrate for the dual graph radio
+// model of Ghaffari, Lynch and Newport (PODC 2013).
+//
+// A dual graph is a pair (G, G') over a shared vertex set with E ⊆ E'. Edges
+// of G are reliable; edges of E' \ E appear and disappear round by round
+// under adversarial control. The package supplies plain graphs, dual graphs,
+// the paper's lower-bound topologies (dual clique, bracelet), geographic
+// graphs satisfying the unit-disk-style constraint of Section 2, the region
+// decomposition used by the Section 4.3 algorithm, and graph metrics.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are always numbered 0..n-1.
+type NodeID = int
+
+// Graph is an immutable simple undirected graph with sorted adjacency lists.
+// Build one with a Builder.
+type Graph struct {
+	n     int
+	adj   [][]NodeID
+	edges int
+}
+
+// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
+// ignored. The zero Builder is unusable; construct with NewBuilder.
+type Builder struct {
+	n   int
+	set map[[2]NodeID]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, set: make(map[[2]NodeID]struct{})}
+}
+
+// AddEdge records the undirected edge (u, v). Out-of-range endpoints and
+// self-loops are ignored so that randomized constructions can be written
+// without bound bookkeeping; Build validates the result instead.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.set[[2]NodeID{u, v}] = struct{}{}
+}
+
+// HasEdge reports whether the edge has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.set[[2]NodeID{u, v}]
+	return ok
+}
+
+// Build finalizes the graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, adj: make([][]NodeID, b.n), edges: len(b.set)}
+	deg := make([]int, b.n)
+	for e := range b.set {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for u := range g.adj {
+		g.adj[u] = make([]NodeID, 0, deg[u])
+	}
+	for e := range b.set {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	for u := range g.adj {
+		sort.Ints(g.adj[u])
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree Δ, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted adjacency list of u. The slice is shared with
+// the graph; callers must not modify it.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v NodeID)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Point is a position in the Euclidean plane for geographic graphs.
+type Point struct {
+	X, Y float64
+}
+
+// Dual is a dual graph network (G, G') with E ⊆ E'. Extra adjacency (the
+// adversary-controlled edges E' \ E) is precomputed. If the network carries a
+// geographic embedding, Pos is non-nil and Radius holds the constant r ≥ 1 of
+// the Section 2 constraint.
+type Dual struct {
+	g     *Graph
+	gp    *Graph
+	extra [][]NodeID // adjacency restricted to E' \ E, sorted
+
+	unionComplete bool
+
+	// Geographic embedding, nil/0 when absent.
+	pos    []Point
+	radius float64
+}
+
+// ErrNotSubset is returned when the reliable graph is not a subgraph of G'.
+var ErrNotSubset = errors.New("graph: E(G) is not a subset of E(G')")
+
+// NewDual validates E ⊆ E' and builds the dual graph.
+func NewDual(g, gp *Graph) (*Dual, error) {
+	if g.N() != gp.N() {
+		return nil, fmt.Errorf("graph: vertex count mismatch: G has %d, G' has %d", g.N(), gp.N())
+	}
+	var subsetErr error
+	g.ForEachEdge(func(u, v NodeID) {
+		if !gp.HasEdge(u, v) {
+			subsetErr = fmt.Errorf("%w: edge (%d,%d)", ErrNotSubset, u, v)
+		}
+	})
+	if subsetErr != nil {
+		return nil, subsetErr
+	}
+	d := &Dual{g: g, gp: gp, extra: make([][]NodeID, g.N())}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range gp.Neighbors(u) {
+			if !g.HasEdge(u, v) {
+				d.extra[u] = append(d.extra[u], v)
+			}
+		}
+	}
+	n := g.N()
+	d.unionComplete = gp.NumEdges() == n*(n-1)/2
+	return d, nil
+}
+
+// MustDual is NewDual that panics on error, for use with constructions that
+// are correct by design.
+func MustDual(g, gp *Graph) *Dual {
+	d, err := NewDual(g, gp)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// UniformDual wraps a single graph as the dual graph (G, G), which is exactly
+// the static protocol model.
+func UniformDual(g *Graph) *Dual {
+	return &Dual{g: g, gp: g, extra: make([][]NodeID, g.N()), unionComplete: g.NumEdges() == g.N()*(g.N()-1)/2}
+}
+
+// N returns the number of nodes.
+func (d *Dual) N() int { return d.g.N() }
+
+// G returns the reliable graph.
+func (d *Dual) G() *Graph { return d.g }
+
+// GPrime returns the unreliable superset graph G'.
+func (d *Dual) GPrime() *Graph { return d.gp }
+
+// ExtraNeighbors returns u's neighbors across E' \ E. Shared slice; do not
+// modify.
+func (d *Dual) ExtraNeighbors(u NodeID) []NodeID { return d.extra[u] }
+
+// NumExtraEdges returns |E' \ E|.
+func (d *Dual) NumExtraEdges() int { return d.gp.NumEdges() - d.g.NumEdges() }
+
+// UnionComplete reports whether G' is the complete graph, enabling the
+// engine's dense-round fast path.
+func (d *Dual) UnionComplete() bool { return d.unionComplete }
+
+// MaxDegree returns Δ, the maximum degree in G' (the paper's Δ).
+func (d *Dual) MaxDegree() int { return d.gp.MaxDegree() }
+
+// Pos returns the geographic embedding or nil.
+func (d *Dual) Pos() []Point { return d.pos }
+
+// Radius returns the geographic constant r, or 0 when not geographic.
+func (d *Dual) Radius() float64 { return d.radius }
+
+// Geographic reports whether the network carries an embedding.
+func (d *Dual) Geographic() bool { return d.pos != nil }
+
+// SetEmbedding attaches a geographic embedding. It does not re-validate the
+// unit-disk constraint; constructions in this package produce consistent
+// embeddings, and ValidateGeographic checks arbitrary ones.
+func (d *Dual) SetEmbedding(pos []Point, radius float64) {
+	d.pos = pos
+	d.radius = radius
+}
+
+// ValidateGeographic checks the Section 2 constraint against the embedding:
+// d(u,v) ≤ 1 implies (u,v) ∈ G, and d(u,v) > r implies (u,v) ∉ G'.
+func (d *Dual) ValidateGeographic() error {
+	if d.pos == nil {
+		return errors.New("graph: no embedding")
+	}
+	if d.radius < 1 {
+		return fmt.Errorf("graph: geographic radius %v < 1", d.radius)
+	}
+	n := d.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dd := dist2(d.pos[u], d.pos[v])
+			if dd <= 1 && !d.g.HasEdge(u, v) {
+				return fmt.Errorf("graph: nodes %d,%d at distance ≤ 1 not connected in G", u, v)
+			}
+			if dd > d.radius*d.radius && d.gp.HasEdge(u, v) {
+				return fmt.Errorf("graph: nodes %d,%d at distance > r connected in G'", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+func dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}

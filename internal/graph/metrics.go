@@ -1,0 +1,121 @@
+package graph
+
+// BFSDist returns the G-distance in hops from src to every node; unreachable
+// nodes get -1.
+func BFSDist(g *Graph, src NodeID) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func Connected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := BFSDist(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum finite distance from src, or -1 if some
+// node is unreachable.
+func Eccentricity(g *Graph, src NodeID) int {
+	max := 0
+	for _, d := range BFSDist(g, src) {
+		if d == -1 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the exact diameter of a connected graph by running BFS
+// from every node, or -1 if the graph is disconnected. Quadratic; intended
+// for experiment setup, not inner loops.
+func Diameter(g *Graph) int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		e := Eccentricity(g, u)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterApprox returns a 2-approximation of the diameter using a double
+// BFS sweep, or -1 if disconnected. Linear time; used for large graphs.
+func DiameterApprox(g *Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	d0 := BFSDist(g, 0)
+	far, max := 0, 0
+	for u, d := range d0 {
+		if d == -1 {
+			return -1
+		}
+		if d > max {
+			far, max = u, d
+		}
+	}
+	return Eccentricity(g, far)
+}
+
+// AvgDegree returns the average degree.
+func AvgDegree(g *Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.N())
+}
+
+// GNeighborsOf returns the set of nodes with at least one G-neighbor in the
+// given set: exactly the receiver set R of the local broadcast problem for
+// broadcaster set B.
+func GNeighborsOf(g *Graph, set []NodeID) []NodeID {
+	inSet := make([]bool, g.N())
+	for _, u := range set {
+		if u >= 0 && u < g.N() {
+			inSet[u] = true
+		}
+	}
+	var out []NodeID
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if inSet[v] {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out
+}

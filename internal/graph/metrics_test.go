@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+)
+
+func TestBFSDistLine(t *testing.T) {
+	g := Line(5)
+	d := BFSDist(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSDistDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	d := BFSDist(g, 0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatal("unreachable nodes must have distance -1")
+	}
+	if Connected(g) {
+		t.Fatal("graph is disconnected")
+	}
+	if Diameter(g) != -1 || Eccentricity(g, 0) != -1 || DiameterApprox(g) != -1 {
+		t.Fatal("disconnected metrics must be -1")
+	}
+}
+
+func TestBFSDistBadSource(t *testing.T) {
+	g := Line(3)
+	d := BFSDist(g, -1)
+	for _, v := range d {
+		if v != -1 {
+			t.Fatal("invalid source must reach nothing")
+		}
+	}
+}
+
+func TestDiameterApproxWithinFactorTwo(t *testing.T) {
+	src := bitrand.New(3)
+	for trial := 0; trial < 10; trial++ {
+		g := ErdosRenyi(src, 40, 0.15)
+		if !Connected(g) {
+			continue
+		}
+		exact := Diameter(g)
+		approx := DiameterApprox(g)
+		if approx < exact/2 || approx > exact {
+			// Double sweep returns an eccentricity, so it is between
+			// diam/2 and diam.
+			t.Fatalf("approx %d outside [%d, %d]", approx, exact/2, exact)
+		}
+	}
+}
+
+func TestConnectedTrivial(t *testing.T) {
+	if !Connected(Line(1)) || !Connected(Line(0)) {
+		t.Fatal("empty and singleton graphs are connected")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	if got := AvgDegree(Ring(10)); got != 2 {
+		t.Fatalf("AvgDegree(Ring) = %v, want 2", got)
+	}
+	if got := AvgDegree(NewBuilder(0).Build()); got != 0 {
+		t.Fatalf("AvgDegree(empty) = %v", got)
+	}
+}
+
+func TestGNeighborsOf(t *testing.T) {
+	g := Line(5) // 0-1-2-3-4
+	r := GNeighborsOf(g, []NodeID{2})
+	if len(r) != 2 || r[0] != 1 || r[1] != 3 {
+		t.Fatalf("GNeighborsOf({2}) = %v", r)
+	}
+	// Broadcasters themselves appear when they neighbor each other.
+	r = GNeighborsOf(g, []NodeID{1, 2})
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if len(r) != len(want) {
+		t.Fatalf("GNeighborsOf({1,2}) = %v", r)
+	}
+	for _, u := range r {
+		if !want[u] {
+			t.Fatalf("unexpected receiver %d", u)
+		}
+	}
+	// Out-of-range broadcaster ids are ignored.
+	if got := GNeighborsOf(g, []NodeID{-3, 99}); len(got) != 0 {
+		t.Fatalf("out-of-range broadcasters produced %v", got)
+	}
+}
+
+func TestEccentricityCenterOfLine(t *testing.T) {
+	g := Line(9)
+	if got := Eccentricity(g, 4); got != 4 {
+		t.Fatalf("center eccentricity = %d, want 4", got)
+	}
+	if got := Eccentricity(g, 0); got != 8 {
+		t.Fatalf("end eccentricity = %d, want 8", got)
+	}
+}

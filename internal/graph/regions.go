@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regions is the region decomposition of a geographic dual graph used by the
+// Section 4.3 analysis (after Censor-Hillel et al. [3]): nodes are
+// partitioned so that every region is a G-clique and every region has at
+// most a constant number of neighboring regions (regions containing a
+// G'-neighbor of one of its nodes).
+//
+// The implementation partitions the plane into square cells of side 1/√2.
+// Any two nodes in a cell are at distance ≤ 1, hence G-adjacent; any
+// G'-neighbor lies within distance r, hence within a bounded number of cells,
+// giving the γ_r = O(r²) neighboring-region constant.
+type Regions struct {
+	// Of maps each node to its region index (0-based, dense).
+	Of []int
+	// Members lists the nodes of each region.
+	Members [][]NodeID
+	// NeighborRegions lists, for each region, the regions (including itself)
+	// containing a G'-neighbor of one of its members.
+	NeighborRegions [][]int
+	// GammaR is the maximum, over regions, of the number of neighboring
+	// regions (excluding the region itself).
+	GammaR int
+}
+
+// cellSide is 1/√2: the largest square side for which any two points in the
+// square are within unit distance of each other.
+var cellSide = 1 / math.Sqrt2
+
+// NewRegions computes the decomposition. It errors when the dual graph
+// carries no geographic embedding.
+func NewRegions(d *Dual) (*Regions, error) {
+	pos := d.Pos()
+	if pos == nil {
+		return nil, errors.New("graph: region decomposition requires a geographic embedding")
+	}
+	n := d.N()
+	type cell struct{ cx, cy int }
+	cellOf := make([]cell, n)
+	index := make(map[cell]int)
+	r := &Regions{Of: make([]int, n)}
+	for u := 0; u < n; u++ {
+		c := cell{int(math.Floor(pos[u].X / cellSide)), int(math.Floor(pos[u].Y / cellSide))}
+		cellOf[u] = c
+		id, ok := index[c]
+		if !ok {
+			id = len(r.Members)
+			index[c] = id
+			r.Members = append(r.Members, nil)
+		}
+		r.Of[u] = id
+		r.Members[id] = append(r.Members[id], u)
+	}
+	// Neighbor regions via G' adjacency.
+	seen := make([]map[int]struct{}, len(r.Members))
+	for i := range seen {
+		seen[i] = map[int]struct{}{i: {}}
+	}
+	for u := 0; u < n; u++ {
+		ru := r.Of[u]
+		for _, v := range d.GPrime().Neighbors(u) {
+			seen[ru][r.Of[v]] = struct{}{}
+		}
+	}
+	r.NeighborRegions = make([][]int, len(r.Members))
+	for i, s := range seen {
+		lst := make([]int, 0, len(s))
+		for id := range s {
+			lst = append(lst, id)
+		}
+		sort.Ints(lst)
+		r.NeighborRegions[i] = lst
+		if len(lst)-1 > r.GammaR {
+			r.GammaR = len(lst) - 1
+		}
+	}
+	return r, nil
+}
+
+// NumRegions returns the number of non-empty regions.
+func (r *Regions) NumRegions() int { return len(r.Members) }
+
+// Validate checks the two structural invariants: every region is a G-clique,
+// and NeighborRegions is consistent with G' adjacency.
+func (r *Regions) Validate(d *Dual) error {
+	for id, members := range r.Members {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if !d.G().HasEdge(members[i], members[j]) {
+					return fmt.Errorf("region %d: members %d and %d not G-adjacent", id, members[i], members[j])
+				}
+			}
+		}
+	}
+	for u := 0; u < d.N(); u++ {
+		ru := r.Of[u]
+		for _, v := range d.GPrime().Neighbors(u) {
+			if !containsInt(r.NeighborRegions[ru], r.Of[v]) {
+				return fmt.Errorf("region %d missing neighbor region %d", ru, r.Of[v])
+			}
+		}
+	}
+	return nil
+}
+
+// TheoreticalGammaBound returns the worst-case number of neighboring regions
+// for geographic constant rad: all cells intersecting a disk of radius rad
+// around a cell, i.e. (2*ceil(rad/side)+1)² - 1 with side = 1/√2.
+func TheoreticalGammaBound(rad float64) int {
+	if rad < 1 {
+		rad = 1
+	}
+	k := int(math.Ceil(rad/cellSide)) + 1
+	w := 2*k + 1
+	return w*w - 1
+}
+
+func containsInt(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
+}

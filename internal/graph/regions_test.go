@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+)
+
+func TestRegionsRequireEmbedding(t *testing.T) {
+	d := UniformDual(Line(4))
+	if _, err := NewRegions(d); err == nil {
+		t.Fatal("regions without embedding must error")
+	}
+}
+
+func TestRegionsPartitionAndCliques(t *testing.T) {
+	src := bitrand.New(21)
+	d := GeographicGrid(src, 8, 8, 0.6, 2)
+	r, err := NewRegions(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition: every node in exactly one region.
+	count := 0
+	for _, members := range r.Members {
+		count += len(members)
+	}
+	if count != d.N() {
+		t.Fatalf("regions cover %d of %d nodes", count, d.N())
+	}
+	for u := 0; u < d.N(); u++ {
+		found := false
+		for _, m := range r.Members[r.Of[u]] {
+			if m == u {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not in its region's member list", u)
+		}
+	}
+	if err := r.Validate(d); err != nil {
+		t.Fatalf("region invariants violated: %v", err)
+	}
+}
+
+func TestRegionsGammaBounded(t *testing.T) {
+	for _, radius := range []float64{1, 1.5, 2, 3} {
+		src := bitrand.New(uint64(radius * 100))
+		d := Geographic(src, GeographicConfig{N: 80, Side: 5, Radius: radius, GreyProb: 1})
+		r, err := NewRegions(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := TheoreticalGammaBound(radius)
+		if r.GammaR > bound {
+			t.Fatalf("radius %v: GammaR %d exceeds theoretical bound %d", radius, r.GammaR, bound)
+		}
+	}
+}
+
+func TestRegionsSelfIsNeighbor(t *testing.T) {
+	src := bitrand.New(5)
+	d := GeographicGrid(src, 4, 4, 0.6, 1.2)
+	r, err := NewRegions(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range r.Members {
+		if !containsInt(r.NeighborRegions[id], id) {
+			t.Fatalf("region %d does not list itself as neighbor", id)
+		}
+	}
+}
+
+func TestTheoreticalGammaBoundMonotone(t *testing.T) {
+	prev := 0
+	for _, rad := range []float64{1, 2, 3, 4} {
+		b := TheoreticalGammaBound(rad)
+		if b < prev {
+			t.Fatalf("bound not monotone at r=%v", rad)
+		}
+		prev = b
+	}
+	if TheoreticalGammaBound(0.5) != TheoreticalGammaBound(1) {
+		t.Fatal("radius < 1 must clamp to 1")
+	}
+}

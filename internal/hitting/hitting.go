@@ -1,0 +1,317 @@
+// Package hitting implements the β-hitting game of the paper's lower-bound
+// machinery (Section 3) and the simulation-based reduction of Theorem 3.1.
+//
+// In the β-hitting game an adversary secretly fixes a target t ∈ [β]; the
+// player outputs one guess per game round and learns nothing except that it
+// has not yet won. Lemma 3.2 (from [11]) bounds every player: k rounds win
+// with probability at most k/(β−1).
+//
+// Theorem 3.1 turns a fast broadcast algorithm into a fast hitting player:
+// the player simulates the algorithm on a dual clique network of 2β nodes in
+// which the hidden bridge (t, t+β) corresponds to the hidden target. Rounds
+// are classified dense/sparse from the expected transmitter count E[|X| | S]
+// (state only — no coins); sparse-round transmitters are guessed, and a
+// dense round with a single transmitter triggers guessing everything. The
+// simulation stays valid — without knowing the bridge — until the player has
+// already won. This package makes the whole construction executable.
+package hitting
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// Outcome reports a play of the hitting game.
+type Outcome struct {
+	// Won reports whether the target was guessed.
+	Won bool
+	// Guesses is the number of game rounds (= guesses) consumed, including
+	// the winning guess.
+	Guesses int
+	// SimRounds is the number of simulated broadcast rounds used by
+	// simulation players (0 for direct players).
+	SimRounds int
+}
+
+// Player produces guesses for the hitting game.
+type Player interface {
+	// NextGuess returns the player's next guess in [0, beta). ok=false means
+	// the player gives up. The only feedback a player ever gets is that the
+	// game has not ended (it would not be called again otherwise).
+	NextGuess(rng *bitrand.Source) (guess int, ok bool)
+}
+
+// Play runs the game with a hidden target in [0, beta).
+func Play(beta, target, maxGuesses int, p Player, rng *bitrand.Source) Outcome {
+	var out Outcome
+	for out.Guesses < maxGuesses {
+		g, ok := p.NextGuess(rng)
+		if !ok {
+			break
+		}
+		out.Guesses++
+		if g == target {
+			out.Won = true
+			break
+		}
+	}
+	if sp, ok := p.(*SimulationPlayer); ok {
+		out.SimRounds = sp.simRounds
+	}
+	return out
+}
+
+// UniformPlayer guesses uniformly at random without replacement: the optimal
+// oblivious strategy, winning k rounds with probability exactly k/β — within
+// the Lemma 3.2 bound of k/(β−1).
+type UniformPlayer struct {
+	Beta int
+
+	order []int
+	pos   int
+}
+
+var _ Player = (*UniformPlayer)(nil)
+
+// NextGuess implements Player.
+func (p *UniformPlayer) NextGuess(rng *bitrand.Source) (int, bool) {
+	if p.order == nil {
+		p.order = rng.Perm(p.Beta)
+	}
+	if p.pos >= len(p.order) {
+		return 0, false
+	}
+	g := p.order[p.pos]
+	p.pos++
+	return g, true
+}
+
+// SweepPlayer guesses 0, 1, 2, ... deterministically; the adversarial target
+// β−1 forces it to take β rounds.
+type SweepPlayer struct {
+	Beta int
+	pos  int
+}
+
+var _ Player = (*SweepPlayer)(nil)
+
+// NextGuess implements Player.
+func (p *SweepPlayer) NextGuess(*bitrand.Source) (int, bool) {
+	if p.pos >= p.Beta {
+		return 0, false
+	}
+	g := p.pos
+	p.pos++
+	return g, true
+}
+
+// SimulationPlayer is the Theorem 3.1 player P_A: it simulates a broadcast
+// algorithm on the bridgeless dual clique of 2β nodes and converts the
+// simulated broadcast behavior into hitting game guesses.
+type SimulationPlayer struct {
+	// Algorithm is the broadcast algorithm A being reduced. Its processes
+	// must implement radio.TransmitProber (all algorithms in this repository
+	// do); the player needs E[|X| | S].
+	Algorithm radio.Algorithm
+	// Beta is the game size; the simulated network has 2β nodes.
+	Beta int
+	// Problem selects global broadcast (source = node 0 ∈ A) or local
+	// broadcast (B = all of A), as in the paper's proof.
+	Problem radio.Problem
+	// C scales the dense threshold C·log₂ β (default 1).
+	C float64
+	// MaxSimRounds caps the simulation ((2β)² by default, mirroring the
+	// paper's w.l.o.g. bound).
+	MaxSimRounds int
+	// Seed drives the simulated processes' coins.
+	Seed uint64
+
+	// Runtime state.
+	initialized bool
+	initErr     error
+	procs       []radio.Process
+	probers     []radio.TransmitProber
+	rngs        []*bitrand.Source
+	simRounds   int
+	queue       []int // pending guesses for the current simulated round
+	txA, txB    []int // realized transmitters (indices) of the current round
+	done        bool
+}
+
+var _ Player = (*SimulationPlayer)(nil)
+
+// ErrNotProbeable is returned via failed initialization when the algorithm's
+// processes do not expose transmit probabilities.
+var ErrNotProbeable = errors.New("hitting: algorithm processes do not implement radio.TransmitProber")
+
+// bridgelessDualClique builds the player's simulated network: cliques A and
+// B with no connecting G edge (the player does not know where the bridge
+// is), G' complete.
+func bridgelessDualClique(beta int) *graph.Dual {
+	n := 2 * beta
+	b := graph.NewBuilder(n)
+	for i := 0; i < beta; i++ {
+		for j := i + 1; j < beta; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(beta+i, beta+j)
+		}
+	}
+	return graph.MustDual(b.Build(), graph.Clique(n))
+}
+
+func (p *SimulationPlayer) init() error {
+	if p.initialized {
+		return p.initErr
+	}
+	p.initialized = true
+	if p.Beta < 2 {
+		p.initErr = fmt.Errorf("hitting: beta %d too small", p.Beta)
+		return p.initErr
+	}
+	net := bridgelessDualClique(p.Beta)
+	spec := radio.Spec{Problem: p.Problem}
+	switch p.Problem {
+	case radio.GlobalBroadcast:
+		spec.Source = 0
+	case radio.LocalBroadcast:
+		bs := make([]graph.NodeID, p.Beta)
+		for i := range bs {
+			bs[i] = i
+		}
+		spec.Broadcasters = bs
+	default:
+		p.initErr = fmt.Errorf("hitting: unsupported problem %v", p.Problem)
+		return p.initErr
+	}
+	master := bitrand.New(p.Seed)
+	p.procs = p.Algorithm.NewProcesses(net, spec, master.Split(0xa1))
+	p.probers = make([]radio.TransmitProber, len(p.procs))
+	for i, proc := range p.procs {
+		tp, ok := proc.(radio.TransmitProber)
+		if !ok {
+			p.initErr = ErrNotProbeable
+			return p.initErr
+		}
+		p.probers[i] = tp
+	}
+	p.rngs = make([]*bitrand.Source, len(p.procs))
+	for i := range p.rngs {
+		p.rngs[i] = master.Split(0xb2, uint64(i))
+	}
+	if p.MaxSimRounds <= 0 {
+		p.MaxSimRounds = 4 * p.Beta * p.Beta
+	}
+	return nil
+}
+
+func (p *SimulationPlayer) threshold() float64 {
+	c := p.C
+	if c <= 0 {
+		c = 1
+	}
+	return c * float64(bitrand.LogN(p.Beta))
+}
+
+// NextGuess implements Player: it drains the pending guess queue, simulating
+// further broadcast rounds as needed to generate more guesses.
+func (p *SimulationPlayer) NextGuess(rng *bitrand.Source) (int, bool) {
+	if err := p.init(); err != nil {
+		return 0, false
+	}
+	for len(p.queue) == 0 {
+		if p.done || p.simRounds >= p.MaxSimRounds {
+			return 0, false
+		}
+		p.simulateRound()
+	}
+	g := p.queue[0]
+	p.queue = p.queue[1:]
+	return g, true
+}
+
+// simulateRound advances the simulated execution by one round, appending any
+// generated guesses to the queue, exactly following the proof's rules.
+func (p *SimulationPlayer) simulateRound() {
+	r := p.simRounds
+	p.simRounds++
+	beta := p.Beta
+
+	// E[|X| | S]: state-determined, computed before any coin is flipped.
+	expected := 0.0
+	for _, tp := range p.probers {
+		expected += tp.TransmitProb(r)
+	}
+	dense := expected > p.threshold()
+
+	// Flip the coins.
+	msgs := make(map[int]*radio.Message)
+	p.txA, p.txB = p.txA[:0], p.txB[:0]
+	for i, proc := range p.procs {
+		act := proc.Step(r, p.rngs[i])
+		if !act.Transmit {
+			continue
+		}
+		msgs[i] = act.Msg
+		if i < beta {
+			p.txA = append(p.txA, i)
+		} else {
+			p.txB = append(p.txB, i)
+		}
+	}
+	total := len(p.txA) + len(p.txB)
+
+	// Guess generation.
+	switch {
+	case dense && total == 1:
+		// Guess everything: guaranteed win.
+		for t := 0; t < beta; t++ {
+			p.queue = append(p.queue, t)
+		}
+		p.done = true // simulation validity ends here, but we have won
+		return
+	case dense:
+		// No guesses; dense round with ≥2 (or 0) transmitters.
+	default:
+		// Sparse: guess every transmitter's id mod β.
+		for _, i := range p.txA {
+			p.queue = append(p.queue, i)
+		}
+		for _, i := range p.txB {
+			p.queue = append(p.queue, i-beta)
+		}
+	}
+
+	// Receive simulation. Dense: complete topology, everyone collides (the
+	// single-transmitter case ended the game above). Sparse: two isolated
+	// cliques; a listener receives iff exactly one node of its own clique
+	// transmits. Validity: if the bridge endpoints transmitted in a sparse
+	// round, we already guessed t above.
+	if dense {
+		for _, proc := range p.procs {
+			proc.Deliver(r, nil)
+		}
+		return
+	}
+	var deliverA, deliverB *radio.Message
+	if len(p.txA) == 1 {
+		deliverA = msgs[p.txA[0]]
+	}
+	if len(p.txB) == 1 {
+		deliverB = msgs[p.txB[0]]
+	}
+	for i, proc := range p.procs {
+		if _, transmitted := msgs[i]; transmitted {
+			proc.Deliver(r, nil)
+			continue
+		}
+		if i < beta {
+			proc.Deliver(r, deliverA)
+		} else {
+			proc.Deliver(r, deliverB)
+		}
+	}
+}

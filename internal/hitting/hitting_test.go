@@ -1,0 +1,179 @@
+package hitting
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/radio"
+)
+
+func TestSweepPlayerWinsInTargetPlusOne(t *testing.T) {
+	rng := bitrand.New(1)
+	for _, target := range []int{0, 3, 7} {
+		out := Play(8, target, 100, &SweepPlayer{Beta: 8}, rng)
+		if !out.Won || out.Guesses != target+1 {
+			t.Fatalf("target %d: %+v", target, out)
+		}
+	}
+}
+
+func TestSweepPlayerGivesUp(t *testing.T) {
+	rng := bitrand.New(1)
+	p := &SweepPlayer{Beta: 4}
+	out := Play(4, 99 /* unhittable */, 100, p, rng)
+	if out.Won || out.Guesses != 4 {
+		t.Fatalf("sweep should exhaust exactly beta guesses: %+v", out)
+	}
+}
+
+func TestUniformPlayerAlwaysWinsEventually(t *testing.T) {
+	rng := bitrand.New(2)
+	for target := 0; target < 16; target++ {
+		out := Play(16, target, 16, &UniformPlayer{Beta: 16}, rng)
+		if !out.Won {
+			t.Fatalf("uniform player must win within beta guesses (target %d)", target)
+		}
+	}
+}
+
+// TestLemma32Bound empirically validates Lemma 3.2: no player wins the
+// k-round game with probability exceeding k/(β−1). The uniform player's win
+// probability is exactly k/β.
+func TestLemma32Bound(t *testing.T) {
+	rng := bitrand.New(3)
+	const beta = 32
+	const trials = 3000
+	for _, k := range []int{1, 4, 8, 16} {
+		wins := 0
+		for trial := 0; trial < trials; trial++ {
+			target := rng.Intn(beta)
+			out := Play(beta, target, k, &UniformPlayer{Beta: beta}, rng)
+			if out.Won {
+				wins++
+			}
+		}
+		rate := float64(wins) / trials
+		bound := float64(k) / float64(beta-1)
+		// Allow 4-sigma sampling noise above the bound.
+		sigma := 4 * 0.5 / 54.77 // 4·sqrt(p(1-p)/trials) upper estimate
+		if rate > bound+sigma {
+			t.Fatalf("k=%d: win rate %.4f exceeds Lemma 3.2 bound %.4f", k, rate, bound)
+		}
+	}
+}
+
+func TestMaxGuessesRespected(t *testing.T) {
+	rng := bitrand.New(4)
+	out := Play(64, 63, 5, &SweepPlayer{Beta: 64}, rng)
+	if out.Won || out.Guesses != 5 {
+		t.Fatalf("guess budget ignored: %+v", out)
+	}
+}
+
+func TestSimulationPlayerRoundRobinWins(t *testing.T) {
+	// Round robin transmits one node per round: every round is sparse with
+	// exactly one transmitter, whose id gets guessed. The player must win
+	// for every target.
+	for _, target := range []int{0, 5, 15} {
+		p := &SimulationPlayer{
+			Algorithm: core.RoundRobin{},
+			Beta:      16,
+			Problem:   radio.LocalBroadcast,
+			Seed:      7,
+		}
+		out := Play(16, target, 10000, p, bitrand.New(9))
+		if !out.Won {
+			t.Fatalf("target %d: simulation player lost: %+v", target, out)
+		}
+		if out.SimRounds == 0 {
+			t.Fatal("no simulated rounds recorded")
+		}
+	}
+}
+
+func TestSimulationPlayerDecayGlobalWins(t *testing.T) {
+	wins := 0
+	const beta = 32
+	for seed := uint64(0); seed < 6; seed++ {
+		p := &SimulationPlayer{
+			Algorithm: core.DecayGlobal{},
+			Beta:      beta,
+			Problem:   radio.GlobalBroadcast,
+			Seed:      seed,
+		}
+		target := int(seed) * 5 % beta
+		out := Play(beta, target, 100000, p, bitrand.New(seed))
+		if out.Won {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Fatalf("simulation player wrapping decay won only %d/6 games", wins)
+	}
+}
+
+func TestSimulationPlayerGuessBudgetTracksTheorem(t *testing.T) {
+	// Theorem 3.1: P_A wins in O(f(2β)·log β) game rounds. Round robin has
+	// f(n) = O(n); with one guess per sparse round the total guesses should
+	// be O(β), far below the (2β)² simulation cap.
+	const beta = 64
+	p := &SimulationPlayer{
+		Algorithm: core.RoundRobin{},
+		Beta:      beta,
+		Problem:   radio.LocalBroadcast,
+		Seed:      3,
+	}
+	out := Play(beta, beta-1, 1<<20, p, bitrand.New(1))
+	if !out.Won {
+		t.Fatalf("lost: %+v", out)
+	}
+	if out.Guesses > 8*beta {
+		t.Fatalf("round robin reduction used %d guesses, want O(beta)=~%d", out.Guesses, beta)
+	}
+}
+
+func TestSimulationPlayerRejectsBadConfig(t *testing.T) {
+	p := &SimulationPlayer{Algorithm: core.RoundRobin{}, Beta: 1, Problem: radio.LocalBroadcast}
+	if _, ok := p.NextGuess(bitrand.New(1)); ok {
+		t.Fatal("beta < 2 must fail")
+	}
+	p2 := &SimulationPlayer{Algorithm: core.RoundRobin{}, Beta: 8, Problem: radio.Problem(42)}
+	if _, ok := p2.NextGuess(bitrand.New(1)); ok {
+		t.Fatal("unknown problem must fail")
+	}
+}
+
+func TestBridgelessDualClique(t *testing.T) {
+	d := bridgelessDualClique(8)
+	if d.N() != 16 {
+		t.Fatalf("N = %d", d.N())
+	}
+	// No G edge crosses the cliques.
+	for u := 0; u < 8; u++ {
+		for v := 8; v < 16; v++ {
+			if d.G().HasEdge(u, v) {
+				t.Fatalf("unexpected cross G edge (%d,%d)", u, v)
+			}
+		}
+	}
+	if !d.UnionComplete() {
+		t.Fatal("G' must be complete")
+	}
+}
+
+func TestSimulationPlayerDeterministicGivenSeed(t *testing.T) {
+	mk := func() *SimulationPlayer {
+		return &SimulationPlayer{
+			Algorithm: core.DecayGlobal{},
+			Beta:      16,
+			Problem:   radio.GlobalBroadcast,
+			Seed:      5,
+		}
+	}
+	a := Play(16, 9, 100000, mk(), bitrand.New(1))
+	b := Play(16, 9, 100000, mk(), bitrand.New(1))
+	if a != b {
+		t.Fatalf("same-seed plays diverged: %+v vs %+v", a, b)
+	}
+}

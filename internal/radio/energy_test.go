@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTxByNodeAccounting(t *testing.T) {
+	res, err := Run(Config{
+		Net:       lineDual(5),
+		Algorithm: relayAlg{},
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		MaxRounds: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TxByNode) != 5 {
+		t.Fatalf("TxByNode length %d", len(res.TxByNode))
+	}
+	// Flood on a line of 5 completes in 4 rounds; node u is informed at
+	// round u-1 and transmits every round afterwards: node 0 transmits 4
+	// times, node 1 three times, ..., node 4 zero times (completion is
+	// detected before node 4 ever steps as informed).
+	var total int64
+	for u, c := range res.TxByNode {
+		want := int64(4 - u)
+		if u == 4 {
+			want = 0
+		}
+		if c != want {
+			t.Fatalf("TxByNode[%d] = %d, want %d", u, c, want)
+		}
+		total += c
+	}
+	if total != res.Transmissions {
+		t.Fatalf("TxByNode sum %d != Transmissions %d", total, res.Transmissions)
+	}
+}
+
+func TestTxByNodeMatchesTotalRandomized(t *testing.T) {
+	d, _ := graph.DualClique(24, 2)
+	res, err := Run(Config{
+		Net:       d,
+		Algorithm: coinAlg{p: 0.4},
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		Link:      hashLink{p: 0.5, seed: 3},
+		Seed:      7,
+		MaxRounds: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range res.TxByNode {
+		total += c
+	}
+	if total != res.Transmissions {
+		t.Fatalf("TxByNode sum %d != Transmissions %d", total, res.Transmissions)
+	}
+}

@@ -1,0 +1,459 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// Config describes one execution.
+type Config struct {
+	// Net is the dual graph network.
+	Net *graph.Dual
+	// Algorithm constructs the per-node processes.
+	Algorithm Algorithm
+	// Spec is the problem instance.
+	Spec Spec
+	// Link is the link process; its dynamic type determines the adversary
+	// class (ObliviousLink, OnlineAdaptiveLink, or OfflineAdaptiveLink). A
+	// nil Link means no unreliable edges ever appear: the static protocol
+	// model on G.
+	Link any
+	// Seed drives all randomness: node coins, algorithm setup, adversary.
+	Seed uint64
+	// MaxRounds bounds the execution; 0 selects a generous default of
+	// 64·n², covering every algorithm in this repository with slack.
+	MaxRounds int
+	// Recorder, when non-nil, receives per-round trace records.
+	Recorder Recorder
+	// UseCliqueCover enables the clique-tally delivery accelerator, which
+	// helps on clique-structured networks (dual clique). Delivery semantics
+	// are identical either way.
+	UseCliqueCover bool
+	// IgnoreCompletion runs the full MaxRounds budget even after the problem
+	// is solved. Sampling adversaries use it so their presimulations cover
+	// the whole horizon; Result.Solved and the completion fields still
+	// reflect the first solving round.
+	IgnoreCompletion bool
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// Solved reports whether the problem completed within MaxRounds.
+	Solved bool
+	// Rounds is the number of rounds executed (the completion round + 1
+	// when solved).
+	Rounds int
+	// Transmissions is the total number of transmissions.
+	Transmissions int64
+	// Deliveries is the total number of successful receptions.
+	Deliveries int64
+	// InformedAt, for global broadcast, maps each node to the round it
+	// first held the message (source: 0; uninformed: -1). Nil for local.
+	InformedAt []int
+	// ReceiverDoneAt, for local broadcast, maps each node of R to the round
+	// it was first satisfied (-1 if never, or not in R). Nil for global.
+	ReceiverDoneAt []int
+	// RumorAt, for gossip, maps [node][rumor index] to the round the node
+	// first held the rumor (-1 if never). Nil for other problems.
+	RumorAt [][]int
+	// TxByNode counts each node's transmissions: the energy profile of the
+	// execution (radios spend most of their budget transmitting).
+	TxByNode []int64
+}
+
+// Run executes the configuration to completion or MaxRounds.
+func Run(cfg Config) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run()
+}
+
+// ErrBadConfig wraps configuration validation failures.
+var ErrBadConfig = errors.New("radio: bad config")
+
+type engine struct {
+	cfg   Config
+	net   *graph.Dual
+	n     int
+	procs []Process
+	// probers[u] is non-nil when procs[u] implements TransmitProber.
+	probers []TransmitProber
+
+	master   *bitrand.Source
+	nodeRngs []*bitrand.Source
+
+	mon monitor
+
+	// Adversary, exactly one of these is set when Link != nil.
+	committed Schedule
+	online    OnlineAdaptiveLink
+	offline   OfflineAdaptiveLink
+	env       *Env
+
+	accel *graph.CliqueCover
+
+	txByNode []int64
+
+	// Per-round scratch (reused).
+	txFlag   []bool
+	counts   []int32
+	from     []graph.NodeID
+	touched  []graph.NodeID
+	tx       []graph.NodeID
+	msgOf    []*Message
+	probs    []float64
+	lastTx   []graph.NodeID
+	cliqueTx []int32
+	cliqueS  []graph.NodeID
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("%w: nil algorithm", ErrBadConfig)
+	}
+	n := cfg.Net.N()
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64 * n * n
+	}
+	e := &engine{cfg: cfg, net: cfg.Net, n: n, master: bitrand.New(cfg.Seed)}
+
+	algRng := e.master.Split(0x0a16)
+	e.procs = cfg.Algorithm.NewProcesses(cfg.Net, cfg.Spec, algRng)
+	if len(e.procs) != n {
+		return nil, fmt.Errorf("%w: algorithm %q produced %d processes for %d nodes",
+			ErrBadConfig, cfg.Algorithm.Name(), len(e.procs), n)
+	}
+	e.probers = make([]TransmitProber, n)
+	for u, p := range e.procs {
+		if tp, ok := p.(TransmitProber); ok {
+			e.probers[u] = tp
+		}
+	}
+	e.nodeRngs = make([]*bitrand.Source, n)
+	for u := range e.nodeRngs {
+		e.nodeRngs[u] = e.master.Split(0x20de, uint64(u))
+	}
+
+	var err error
+	switch cfg.Spec.Problem {
+	case GlobalBroadcast:
+		var gm *globalMonitor
+		gm, err = newGlobalMonitor(n, cfg.Spec.Source)
+		e.mon = gm
+	case LocalBroadcast:
+		var lm *localMonitor
+		lm, err = newLocalMonitor(cfg.Net, cfg.Spec.Broadcasters)
+		e.mon = lm
+	case Gossip:
+		var gm *gossipMonitor
+		gm, err = newGossipMonitor(n, cfg.Spec.Sources)
+		e.mon = gm
+	default:
+		err = fmt.Errorf("unknown problem %v", cfg.Spec.Problem)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+
+	if cfg.Link != nil {
+		e.env = &Env{
+			Net:       cfg.Net,
+			Spec:      cfg.Spec,
+			Algorithm: cfg.Algorithm,
+			Rng:       e.master.Split(0xadf5),
+			MaxRounds: cfg.MaxRounds,
+		}
+		switch link := cfg.Link.(type) {
+		case ObliviousLink:
+			e.committed = link.CommitSchedule(e.env)
+			if e.committed == nil {
+				return nil, fmt.Errorf("%w: oblivious link committed nil schedule", ErrBadConfig)
+			}
+		case OnlineAdaptiveLink:
+			e.online = link
+		case OfflineAdaptiveLink:
+			e.offline = link
+		default:
+			return nil, fmt.Errorf("%w: link %T implements no adversary interface", ErrBadConfig, cfg.Link)
+		}
+	}
+
+	if cfg.UseCliqueCover {
+		e.accel = graph.BuildCliqueCover(cfg.Net.G())
+	}
+
+	e.txFlag = make([]bool, n)
+	e.txByNode = make([]int64, n)
+	e.counts = make([]int32, n)
+	e.from = make([]graph.NodeID, n)
+	e.touched = make([]graph.NodeID, 0, n)
+	e.tx = make([]graph.NodeID, 0, n)
+	e.msgOf = make([]*Message, n)
+	e.probs = make([]float64, n)
+	if e.accel != nil {
+		e.cliqueTx = make([]int32, e.accel.Count)
+		e.cliqueS = make([]graph.NodeID, e.accel.Count)
+	}
+	return e, nil
+}
+
+func (e *engine) run() (Result, error) {
+	var res Result
+	for r := 0; r < e.cfg.MaxRounds; r++ {
+		e.step(r, &res)
+		if !res.Solved && e.mon.done() {
+			res.Solved = true
+			res.Rounds = r + 1
+			if !e.cfg.IgnoreCompletion {
+				e.fill(&res)
+				return res, nil
+			}
+		}
+	}
+	if !res.Solved {
+		res.Rounds = e.cfg.MaxRounds
+	}
+	e.fill(&res)
+	return res, nil
+}
+
+func (e *engine) fill(res *Result) {
+	res.TxByNode = append([]int64(nil), e.txByNode...)
+	switch m := e.mon.(type) {
+	case *globalMonitor:
+		res.InformedAt = append([]int(nil), m.informedAt...)
+	case *localMonitor:
+		res.ReceiverDoneAt = append([]int(nil), m.doneAt...)
+	case *gossipMonitor:
+		res.RumorAt = make([][]int, len(m.haveAt))
+		for u, row := range m.haveAt {
+			res.RumorAt[u] = append([]int(nil), row...)
+		}
+	}
+}
+
+// step executes one round.
+func (e *engine) step(r int, res *Result) {
+	// 1. Adaptive adversaries observe state-determined probabilities first.
+	var view *View
+	if e.online != nil || e.offline != nil {
+		for u, tp := range e.probers {
+			if tp != nil {
+				e.probs[u] = tp.TransmitProb(r)
+			} else {
+				e.probs[u] = -1
+			}
+		}
+		view = &View{
+			Round:            r,
+			TransmitProbs:    e.probs,
+			LastTransmitters: e.lastTx,
+			Informed:         e.mon.progress(),
+		}
+	}
+	var selector graph.EdgeSelector
+	switch {
+	case e.committed != nil:
+		selector = e.committed.SelectorFor(r)
+	case e.online != nil:
+		selector = e.online.ChooseOnline(e.env, view)
+	}
+
+	// 2. Flip the coins: every process steps.
+	e.tx = e.tx[:0]
+	for u, p := range e.procs {
+		act := p.Step(r, e.nodeRngs[u])
+		if act.Transmit {
+			if act.Msg == nil {
+				// A transmission without a message is treated as noise: it
+				// occupies the channel but delivers nothing.
+				act.Msg = &Message{Origin: u}
+			}
+			e.tx = append(e.tx, u)
+			e.msgOf[u] = act.Msg
+			e.txByNode[u]++
+		}
+	}
+	res.Transmissions += int64(len(e.tx))
+
+	// 3. The offline adaptive adversary sees the realized transmitters.
+	if e.offline != nil {
+		selector = e.offline.ChooseOffline(e.env, view, e.tx)
+	}
+	if selector == nil {
+		selector = graph.SelectNone{}
+	}
+
+	// 4. Compute deliveries and hand them out.
+	deliveries := e.deliver(selector, r, res)
+
+	if e.cfg.Recorder != nil {
+		rec := RoundRecord{
+			Round:        r,
+			Transmitters: append([]graph.NodeID(nil), e.tx...),
+			Deliveries:   deliveries,
+			SelectorKind: selectorKind(selector),
+			Selector:     selector,
+		}
+		e.cfg.Recorder.Record(rec)
+	}
+
+	// Remember this round's transmitters for the next round's view.
+	e.lastTx = append(e.lastTx[:0], e.tx...)
+}
+
+// deliver computes receptions under the round topology G ∪ selector(E'\E)
+// and invokes Deliver on every process. It returns the delivery list only
+// when a recorder is attached (nil otherwise, to avoid allocation).
+func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Delivery {
+	for _, v := range e.tx {
+		e.txFlag[v] = true
+	}
+	e.touched = e.touched[:0]
+
+	var recorded []Delivery
+	record := e.cfg.Recorder != nil
+
+	// Fast path: the round topology is the complete graph. Every listener
+	// neighbors every transmitter, so with ≥2 transmitters everyone
+	// collides, and with exactly one, everyone receives.
+	if selector.All() && e.net.UnionComplete() {
+		if len(e.tx) == 1 {
+			v := e.tx[0]
+			msg := e.msgOf[v]
+			for u := 0; u < e.n; u++ {
+				if u == v {
+					e.procs[u].Deliver(r, nil)
+					continue
+				}
+				e.procs[u].Deliver(r, msg)
+				e.mon.observe(r, u, msg)
+				res.Deliveries++
+				if record {
+					recorded = append(recorded, Delivery{To: u, From: v})
+				}
+			}
+		} else {
+			for u := 0; u < e.n; u++ {
+				e.procs[u].Deliver(r, nil)
+			}
+		}
+		for _, v := range e.tx {
+			e.txFlag[v] = false
+		}
+		return recorded
+	}
+
+	add := func(u, v graph.NodeID) {
+		if e.txFlag[u] {
+			return
+		}
+		if e.counts[u] == 0 {
+			e.touched = append(e.touched, u)
+		}
+		e.counts[u]++
+		e.from[u] = v
+	}
+
+	// Reliable edges.
+	if e.accel != nil {
+		for i := range e.cliqueTx {
+			e.cliqueTx[i] = 0
+		}
+		for _, v := range e.tx {
+			c := e.accel.Of[v]
+			e.cliqueTx[c]++
+			e.cliqueS[c] = v
+		}
+		if len(e.tx) > 0 {
+			for u := 0; u < e.n; u++ {
+				if e.txFlag[u] {
+					continue
+				}
+				k := e.cliqueTx[e.accel.Of[u]]
+				if k == 0 {
+					continue
+				}
+				if e.counts[u] == 0 {
+					e.touched = append(e.touched, u)
+				}
+				e.counts[u] += k
+				if k == 1 {
+					e.from[u] = e.cliqueS[e.accel.Of[u]]
+				}
+			}
+		}
+		for _, edge := range e.accel.Residual {
+			if e.txFlag[edge.U] {
+				add(edge.V, edge.U)
+			}
+			if e.txFlag[edge.V] {
+				add(edge.U, edge.V)
+			}
+		}
+	} else {
+		for _, v := range e.tx {
+			for _, u := range e.net.G().Neighbors(v) {
+				add(u, v)
+			}
+		}
+	}
+
+	// Unreliable edges chosen this round.
+	if !selector.None() {
+		if selector.All() {
+			for _, v := range e.tx {
+				for _, u := range e.net.ExtraNeighbors(v) {
+					add(u, v)
+				}
+			}
+		} else {
+			for _, v := range e.tx {
+				for _, u := range e.net.ExtraNeighbors(v) {
+					if selector.Includes(v, u) {
+						add(u, v)
+					}
+				}
+			}
+		}
+	}
+
+	// Hand out results: touched listeners receive their message or a
+	// collision; everyone else (silent listeners and all transmitters)
+	// hears nil. counts[u] is set to -1 for touched nodes so the second
+	// pass can tell them apart, then reset to 0 for the next round.
+	for _, u := range e.touched {
+		if e.counts[u] == 1 {
+			msg := e.msgOf[e.from[u]]
+			e.procs[u].Deliver(r, msg)
+			e.mon.observe(r, u, msg)
+			res.Deliveries++
+			if record {
+				recorded = append(recorded, Delivery{To: u, From: e.from[u]})
+			}
+		} else {
+			e.procs[u].Deliver(r, nil) // collision
+		}
+		e.counts[u] = -1
+	}
+	for u := 0; u < e.n; u++ {
+		if e.counts[u] == -1 {
+			e.counts[u] = 0
+			continue
+		}
+		e.procs[u].Deliver(r, nil)
+	}
+
+	for _, v := range e.tx {
+		e.txFlag[v] = false
+	}
+	return recorded
+}

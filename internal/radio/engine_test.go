@@ -1,0 +1,448 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// scriptProc transmits according to a fixed plan and records deliveries.
+type scriptProc struct {
+	id   graph.NodeID
+	plan map[int]bool
+	msg  *Message
+	got  map[int]*Message
+}
+
+func (p *scriptProc) Step(r int, rng *bitrand.Source) Action {
+	if p.plan[r] {
+		return Transmit(p.msg)
+	}
+	return Listen()
+}
+
+func (p *scriptProc) Deliver(r int, msg *Message) {
+	if msg != nil {
+		p.got[r] = msg
+	}
+}
+
+// scriptAlg wires a per-node plan into an Algorithm.
+type scriptAlg struct {
+	plans map[graph.NodeID]map[int]bool
+	procs []*scriptProc
+}
+
+func (a *scriptAlg) Name() string { return "script" }
+
+func (a *scriptAlg) NewProcesses(net *graph.Dual, spec Spec, rng *bitrand.Source) []Process {
+	n := net.N()
+	a.procs = make([]*scriptProc, n)
+	out := make([]Process, n)
+	for u := 0; u < n; u++ {
+		a.procs[u] = &scriptProc{
+			id:   u,
+			plan: a.plans[u],
+			msg:  &Message{Origin: u},
+			got:  make(map[int]*Message),
+		}
+		out[u] = a.procs[u]
+	}
+	return out
+}
+
+func lineDual(n int) *graph.Dual { return graph.UniformDual(graph.Line(n)) }
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	// 0-1-2-3: node 1 transmits in round 0; 0 and 2 receive, 3 does not.
+	alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{1: {0: true}}}
+	_, err := Run(Config{
+		Net:       lineDual(4),
+		Algorithm: alg,
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 1},
+		MaxRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[0].got[0] == nil || alg.procs[2].got[0] == nil {
+		t.Fatal("neighbors of the lone transmitter must receive")
+	}
+	if alg.procs[3].got[0] != nil {
+		t.Fatal("non-neighbor received")
+	}
+	if got := alg.procs[0].got[0].Origin; got != 1 {
+		t.Fatalf("wrong origin %d", got)
+	}
+}
+
+func TestCollisionSilences(t *testing.T) {
+	// 0-1-2: 0 and 2 transmit; 1 hears a collision (nothing).
+	alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{0: {0: true}, 2: {0: true}}}
+	_, err := Run(Config{
+		Net:       lineDual(3),
+		Algorithm: alg,
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		MaxRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[1].got[0] != nil {
+		t.Fatal("node between two transmitters must hear a collision")
+	}
+}
+
+func TestTransmittersDoNotReceive(t *testing.T) {
+	// 0-1: both transmit... then neither receives. Also 0 transmits while 1
+	// listens: 1 receives, 0 does not.
+	alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{
+		0: {0: true, 1: true},
+		1: {0: true},
+	}}
+	_, err := Run(Config{
+		Net:       lineDual(2),
+		Algorithm: alg,
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[0].got[0] != nil || alg.procs[1].got[0] != nil {
+		t.Fatal("simultaneous transmitters must not receive")
+	}
+	if alg.procs[1].got[1] == nil {
+		t.Fatal("listener must receive from lone neighbor")
+	}
+	if alg.procs[0].got[1] != nil {
+		t.Fatal("round-1 transmitter must not receive")
+	}
+}
+
+// extraDual returns a dual graph: G is the path 0-1-2, G' adds edge (0, 2).
+func extraDual() *graph.Dual {
+	g := graph.Line(3)
+	gpb := graph.NewBuilder(3)
+	g.ForEachEdge(gpb.AddEdge)
+	gpb.AddEdge(0, 2)
+	return graph.MustDual(g, gpb.Build())
+}
+
+func TestSelectorControlsExtraEdges(t *testing.T) {
+	cases := []struct {
+		name     string
+		selector graph.EdgeSelector
+		want     bool // does 2 receive 0's round-0 transmission via G' edge?
+	}{
+		{"none", graph.SelectNone{}, false},
+		{"all", graph.SelectAll{}, true},
+		{"set-hit", graph.NewSelectSet([]graph.EdgeKey{{U: 0, V: 2}}), true},
+		{"set-miss", graph.NewSelectSet([]graph.EdgeKey{{U: 1, V: 2}}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{0: {0: true}}}
+			_, err := Run(Config{
+				Net:       extraDual(),
+				Algorithm: alg,
+				Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+				Link:      staticOblivious{sel: tc.selector},
+				MaxRounds: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := alg.procs[2].got[0] != nil
+			if got != tc.want {
+				t.Fatalf("delivery over extra edge = %v, want %v", got, tc.want)
+			}
+			// The G path neighbor always receives regardless of selector.
+			if alg.procs[1].got[0] == nil {
+				t.Fatal("reliable edge delivery must be unaffected")
+			}
+		})
+	}
+}
+
+type staticOblivious struct{ sel graph.EdgeSelector }
+
+func (s staticOblivious) CommitSchedule(env *Env) Schedule {
+	return StaticSchedule{Selector: s.sel}
+}
+
+func TestExtraEdgeCanCauseCollision(t *testing.T) {
+	// G: 0-1, isolated 2. G' adds (1,2). When 0 and 2 transmit and the
+	// adversary includes (1,2), node 1 collides; excluded, node 1 receives
+	// from 0.
+	g := graph.Line(2 + 1 - 1) // placeholder to keep gofmt quiet
+	_ = g
+	gb := graph.NewBuilder(3)
+	gb.AddEdge(0, 1)
+	gg := gb.Build()
+	gpb := graph.NewBuilder(3)
+	gpb.AddEdge(0, 1)
+	gpb.AddEdge(1, 2)
+	d := graph.MustDual(gg, gpb.Build())
+
+	for _, include := range []bool{true, false} {
+		alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{0: {0: true}, 2: {0: true}}}
+		var sel graph.EdgeSelector = graph.SelectNone{}
+		if include {
+			sel = graph.SelectAll{}
+		}
+		_, err := Run(Config{
+			Net:       d,
+			Algorithm: alg,
+			Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+			Link:      staticOblivious{sel: sel},
+			MaxRounds: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		received := alg.procs[1].got[0] != nil
+		if include && received {
+			t.Fatal("included extra edge must cause a collision at node 1")
+		}
+		if !include && !received {
+			t.Fatal("excluded extra edge must let node 1 receive from 0")
+		}
+	}
+}
+
+func TestGlobalMonitorCompletes(t *testing.T) {
+	// Round robin on a line completes global broadcast.
+	plans := map[graph.NodeID]map[int]bool{}
+	alg := &scriptAlg{plans: plans}
+	// Node u transmits in rounds where it is its turn and it is informed;
+	// scripting that is awkward, so instead: node u transmits in round u
+	// having been informed by u-1 in round u-1 (line propagation).
+	for u := 0; u < 5; u++ {
+		plans[u] = map[int]bool{u: true}
+	}
+	res, err := Run(Config{
+		Net:       lineDual(5),
+		Algorithm: alg,
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		MaxRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait: scripted transmissions carry Origin=u, not the source message.
+	// Node u's transmissions have Origin u, so the monitor should NOT count
+	// them; broadcast never completes.
+	if res.Solved {
+		t.Fatal("messages with non-source origin must not satisfy global broadcast")
+	}
+}
+
+// relayAlg floods: any informed node transmits every round.
+type relayAlg struct{}
+
+func (relayAlg) Name() string { return "relay" }
+
+func (relayAlg) NewProcesses(net *graph.Dual, spec Spec, rng *bitrand.Source) []Process {
+	out := make([]Process, net.N())
+	for u := 0; u < net.N(); u++ {
+		p := &relayProc{}
+		if u == spec.Source {
+			p.msg = &Message{Origin: spec.Source}
+		}
+		out[u] = p
+	}
+	return out
+}
+
+type relayProc struct{ msg *Message }
+
+func (p *relayProc) TransmitProb(int) float64 {
+	if p.msg != nil {
+		return 1
+	}
+	return 0
+}
+
+func (p *relayProc) Step(r int, rng *bitrand.Source) Action {
+	if p.msg != nil {
+		return Transmit(p.msg)
+	}
+	return Listen()
+}
+
+func (p *relayProc) Deliver(r int, msg *Message) {
+	if msg != nil && p.msg == nil {
+		p.msg = msg
+	}
+}
+
+func TestGlobalBroadcastOnLineWithFlood(t *testing.T) {
+	// Deterministic flooding on a line: exactly one informed frontier
+	// transmitter... actually all informed nodes transmit, so interior
+	// receivers collide except at the frontier: node i+1 neighbors only
+	// node i among informed nodes (i-1 is informed too but not adjacent to
+	// i+1). So the message advances one hop per round.
+	res, err := Run(Config{
+		Net:       lineDual(6),
+		Algorithm: relayAlg{},
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		MaxRounds: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("flood on a line must complete")
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("line flood rounds = %d, want 5", res.Rounds)
+	}
+	// The source is informed at 0; node i ≥ 1 receives in round index i-1.
+	for i, at := range res.InformedAt {
+		want := i - 1
+		if i == 0 {
+			want = 0
+		}
+		if at != want {
+			t.Fatalf("InformedAt[%d] = %d, want %d", i, at, want)
+		}
+	}
+}
+
+func TestLocalMonitor(t *testing.T) {
+	// 0-1-2-3, B={1}: R = {0, 2}. Node 1 transmits round 0: solved.
+	alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{1: {0: true}}}
+	res, err := Run(Config{
+		Net:       lineDual(4),
+		Algorithm: alg,
+		Spec:      Spec{Problem: LocalBroadcast, Broadcasters: []graph.NodeID{1}},
+		MaxRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Rounds != 1 {
+		t.Fatalf("local broadcast: solved=%v rounds=%d", res.Solved, res.Rounds)
+	}
+	if res.ReceiverDoneAt[0] != 0 || res.ReceiverDoneAt[2] != 0 {
+		t.Fatalf("ReceiverDoneAt = %v", res.ReceiverDoneAt)
+	}
+	if res.ReceiverDoneAt[3] != -1 {
+		t.Fatal("node 3 is not in R")
+	}
+}
+
+func TestLocalMonitorIgnoresNonBOrigins(t *testing.T) {
+	// B={0} on 0-1-2. Node 2 transmitting does not satisfy node 1.
+	alg := &scriptAlg{plans: map[graph.NodeID]map[int]bool{2: {0: true}}}
+	res, err := Run(Config{
+		Net:       lineDual(3),
+		Algorithm: alg,
+		Spec:      Spec{Problem: LocalBroadcast, Broadcasters: []graph.NodeID{0}},
+		MaxRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("delivery from a non-broadcaster must not satisfy local broadcast")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	alg := &scriptAlg{plans: nil}
+	cases := []Config{
+		{Algorithm: alg, Spec: Spec{Problem: GlobalBroadcast}},                                          // nil net
+		{Net: lineDual(3), Spec: Spec{Problem: GlobalBroadcast}},                                        // nil algorithm
+		{Net: lineDual(3), Algorithm: alg, Spec: Spec{Problem: GlobalBroadcast, Source: 9}},             // bad source
+		{Net: lineDual(3), Algorithm: alg, Spec: Spec{Problem: LocalBroadcast}},                         // empty B
+		{Net: lineDual(3), Algorithm: alg, Spec: Spec{Problem: LocalBroadcast, Broadcasters: []int{7}}}, // bad B
+		{Net: lineDual(3), Algorithm: alg, Spec: Spec{Problem: Problem(99)}},                            // bad problem
+		{Net: lineDual(3), Algorithm: alg, Spec: Spec{Problem: GlobalBroadcast}, Link: 42},              // bad link
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		} else if !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: error %v not ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		res, err := Run(Config{
+			Net:       lineDual(12),
+			Algorithm: coinAlg{p: 0.4},
+			Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+			Seed:      777,
+			MaxRounds: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Transmissions != b.Transmissions || a.Deliveries != b.Deliveries {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := Run(Config{
+		Net:       lineDual(12),
+		Algorithm: coinAlg{p: 0.4},
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		Seed:      778,
+		MaxRounds: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Transmissions == a.Transmissions && c.Deliveries == a.Deliveries && c.Rounds == a.Rounds {
+		t.Log("warning: different seeds produced identical summary (possible but unlikely)")
+	}
+}
+
+// coinAlg: informed nodes transmit with fixed probability p.
+type coinAlg struct{ p float64 }
+
+func (coinAlg) Name() string { return "coin" }
+
+func (a coinAlg) NewProcesses(net *graph.Dual, spec Spec, rng *bitrand.Source) []Process {
+	out := make([]Process, net.N())
+	for u := 0; u < net.N(); u++ {
+		p := &coinProc{p: a.p}
+		if u == spec.Source {
+			p.msg = &Message{Origin: spec.Source}
+		}
+		out[u] = p
+	}
+	return out
+}
+
+type coinProc struct {
+	p   float64
+	msg *Message
+}
+
+func (p *coinProc) TransmitProb(int) float64 {
+	if p.msg != nil {
+		return p.p
+	}
+	return 0
+}
+
+func (p *coinProc) Step(r int, rng *bitrand.Source) Action {
+	if p.msg != nil && rng.Coin(p.p) {
+		return Transmit(p.msg)
+	}
+	return Listen()
+}
+
+func (p *coinProc) Deliver(r int, msg *Message) {
+	if msg != nil && p.msg == nil {
+		p.msg = msg
+	}
+}

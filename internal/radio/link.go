@@ -1,0 +1,91 @@
+package radio
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// Env is the execution context handed to link processes. It contains exactly
+// what every adversary class is entitled to before the execution begins: the
+// network topology, the problem instance, the algorithm description, and the
+// adversary's own private randomness.
+type Env struct {
+	Net       *graph.Dual
+	Spec      Spec
+	Algorithm Algorithm
+	Rng       *bitrand.Source
+	// MaxRounds is the engine's round budget, available so schedules can be
+	// sized.
+	MaxRounds int
+}
+
+// View is the execution information available to adaptive link processes at
+// the start of a round. Oblivious processes never see a View.
+type View struct {
+	// Round is the current round index (0-based).
+	Round int
+	// TransmitProbs[u] is the probability that node u transmits this round,
+	// as determined by its state at the beginning of the round (before any
+	// coin is flipped). Nodes whose process does not implement
+	// TransmitProber report -1.
+	TransmitProbs []float64
+	// LastTransmitters is the realized transmitter set of the previous
+	// round (nil in round 0). Part of the execution history.
+	LastTransmitters []graph.NodeID
+	// Informed is the number of problem-relevant deliveries so far (informed
+	// nodes for global broadcast, satisfied receivers for local broadcast).
+	Informed int
+}
+
+// SumTransmitProbs returns Σ_u TransmitProbs[u] over nodes with known
+// probabilities: the E[|X| | S] quantity of Theorem 3.1.
+func (v *View) SumTransmitProbs() float64 {
+	total := 0.0
+	for _, p := range v.TransmitProbs {
+		if p >= 0 {
+			total += p
+		}
+	}
+	return total
+}
+
+// Schedule is a committed oblivious link schedule: a pure function of the
+// round number fixed before the execution begins.
+type Schedule interface {
+	// SelectorFor returns the E'\E selection for the given round.
+	SelectorFor(round int) graph.EdgeSelector
+}
+
+// ObliviousLink is a link process that must commit its entire behavior
+// before round 1. CommitSchedule is invoked exactly once; the returned
+// Schedule receives no execution information, enforcing obliviousness by
+// construction.
+type ObliviousLink interface {
+	CommitSchedule(env *Env) Schedule
+}
+
+// OnlineAdaptiveLink chooses each round's links from the execution history
+// and the state-determined transmit probabilities, but not the coins.
+type OnlineAdaptiveLink interface {
+	ChooseOnline(env *Env, view *View) graph.EdgeSelector
+}
+
+// OfflineAdaptiveLink additionally sees the realized transmitter set of the
+// current round before fixing the links — the strongest classical adversary.
+type OfflineAdaptiveLink interface {
+	ChooseOffline(env *Env, view *View, transmitters []graph.NodeID) graph.EdgeSelector
+}
+
+// ScheduleFunc adapts a function to the Schedule interface.
+type ScheduleFunc func(round int) graph.EdgeSelector
+
+// SelectorFor implements Schedule.
+func (f ScheduleFunc) SelectorFor(round int) graph.EdgeSelector { return f(round) }
+
+// StaticSchedule replays the same selector every round.
+type StaticSchedule struct {
+	Selector graph.EdgeSelector
+}
+
+// SelectorFor implements Schedule.
+func (s StaticSchedule) SelectorFor(int) graph.EdgeSelector { return s.Selector }

@@ -1,0 +1,155 @@
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// monitor tracks problem completion during an execution.
+type monitor interface {
+	// observe is called for every successful delivery.
+	observe(round int, to graph.NodeID, msg *Message)
+	// done reports whether the problem is solved.
+	done() bool
+	// progress returns the number of problem-relevant deliveries so far.
+	progress() int
+}
+
+// globalMonitor tracks global broadcast: every node must hold the source
+// message. A node holds it after receiving any message originating at the
+// source (relays preserve Origin); the source holds it from the start.
+type globalMonitor struct {
+	source     graph.NodeID
+	informedAt []int
+	remaining  int
+}
+
+func newGlobalMonitor(n int, source graph.NodeID) (*globalMonitor, error) {
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("radio: global broadcast source %d out of range [0,%d)", source, n)
+	}
+	m := &globalMonitor{source: source, informedAt: make([]int, n), remaining: n - 1}
+	for i := range m.informedAt {
+		m.informedAt[i] = -1
+	}
+	m.informedAt[source] = 0
+	return m, nil
+}
+
+func (m *globalMonitor) observe(round int, to graph.NodeID, msg *Message) {
+	if msg.Origin != m.source || m.informedAt[to] != -1 {
+		return
+	}
+	m.informedAt[to] = round
+	m.remaining--
+}
+
+func (m *globalMonitor) done() bool { return m.remaining == 0 }
+
+func (m *globalMonitor) progress() int { return len(m.informedAt) - 1 - m.remaining }
+
+// localMonitor tracks local broadcast: every node of R (nodes with a
+// G-neighbor in B) must receive at least one message originating in B.
+type localMonitor struct {
+	inB       []bool
+	doneAt    []int // -1 until satisfied; only meaningful for receivers
+	inR       []bool
+	remaining int
+}
+
+func newLocalMonitor(d *graph.Dual, broadcasters []graph.NodeID) (*localMonitor, error) {
+	n := d.N()
+	m := &localMonitor{inB: make([]bool, n), doneAt: make([]int, n), inR: make([]bool, n)}
+	for i := range m.doneAt {
+		m.doneAt[i] = -1
+	}
+	if len(broadcasters) == 0 {
+		return nil, fmt.Errorf("radio: local broadcast requires a non-empty broadcaster set")
+	}
+	for _, u := range broadcasters {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("radio: broadcaster %d out of range [0,%d)", u, n)
+		}
+		m.inB[u] = true
+	}
+	for _, u := range graph.GNeighborsOf(d.G(), broadcasters) {
+		m.inR[u] = true
+		m.remaining++
+	}
+	return m, nil
+}
+
+func (m *localMonitor) observe(round int, to graph.NodeID, msg *Message) {
+	if !m.inR[to] || m.doneAt[to] != -1 || !m.inB[msg.Origin] {
+		return
+	}
+	m.doneAt[to] = round
+	m.remaining--
+}
+
+func (m *localMonitor) done() bool { return m.remaining == 0 }
+
+func (m *localMonitor) progress() int {
+	count := 0
+	for u, at := range m.doneAt {
+		if m.inR[u] && at != -1 {
+			count++
+		}
+	}
+	return count
+}
+
+// gossipMonitor tracks k-rumor spreading: every node must hold every rumor.
+// A node holds rumor i after receiving any message originating at source i;
+// each source starts holding its own rumor.
+type gossipMonitor struct {
+	srcIndex  map[graph.NodeID]int
+	haveAt    [][]int // haveAt[u][i]: round node u first held rumor i, -1 if not
+	remaining int
+}
+
+func newGossipMonitor(n int, sources []graph.NodeID) (*gossipMonitor, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("radio: gossip requires at least one source")
+	}
+	m := &gossipMonitor{srcIndex: make(map[graph.NodeID]int, len(sources))}
+	for i, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("radio: gossip source %d out of range [0,%d)", s, n)
+		}
+		if _, dup := m.srcIndex[s]; dup {
+			return nil, fmt.Errorf("radio: duplicate gossip source %d", s)
+		}
+		m.srcIndex[s] = i
+	}
+	k := len(sources)
+	m.haveAt = make([][]int, n)
+	for u := range m.haveAt {
+		m.haveAt[u] = make([]int, k)
+		for i := range m.haveAt[u] {
+			m.haveAt[u][i] = -1
+		}
+	}
+	for i, s := range sources {
+		m.haveAt[s][i] = 0
+	}
+	m.remaining = n*k - k
+	return m, nil
+}
+
+func (m *gossipMonitor) observe(round int, to graph.NodeID, msg *Message) {
+	i, ok := m.srcIndex[msg.Origin]
+	if !ok || m.haveAt[to][i] != -1 {
+		return
+	}
+	m.haveAt[to][i] = round
+	m.remaining--
+}
+
+func (m *gossipMonitor) done() bool { return m.remaining == 0 }
+
+func (m *gossipMonitor) progress() int {
+	total := len(m.haveAt) * len(m.srcIndex)
+	return total - len(m.srcIndex) - m.remaining
+}

@@ -1,0 +1,123 @@
+// Package radio implements the round-synchronous dual graph radio network
+// simulation engine of the PODC 2013 model.
+//
+// An execution proceeds in synchronous rounds. Each round, every node either
+// transmits a message or listens. The communication topology of round r is
+// the reliable graph G plus the subset of E' \ E chosen by the link process
+// (the adversary). A listening node u receives message m from v iff v is the
+// only transmitter among u's topology neighbors; otherwise u hears silence
+// (collisions are indistinguishable from silence; no collision detection).
+//
+// The engine enforces adversary visibility by interface shape: oblivious
+// link processes commit a full schedule before round 1, online adaptive ones
+// see state-determined transmit probabilities but not coins, and offline
+// adaptive ones additionally see the realized transmitter set.
+package radio
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// Problem selects which broadcast problem an execution solves.
+type Problem int
+
+const (
+	// GlobalBroadcast: a designated source disseminates one message to all.
+	GlobalBroadcast Problem = iota + 1
+	// LocalBroadcast: every node with a G-neighbor in the broadcaster set
+	// must receive at least one message originating in the set.
+	LocalBroadcast
+	// Gossip (k-rumor spreading): every node must receive, for each of the
+	// k sources, some message originating at that source. This is the
+	// multi-message extension the paper's conclusion poses as future work.
+	Gossip
+)
+
+// String implements fmt.Stringer.
+func (p Problem) String() string {
+	switch p {
+	case GlobalBroadcast:
+		return "global"
+	case LocalBroadcast:
+		return "local"
+	case Gossip:
+		return "gossip"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes a problem instance.
+type Spec struct {
+	Problem Problem
+	// Source is the designated source for GlobalBroadcast.
+	Source graph.NodeID
+	// Broadcasters is the set B for LocalBroadcast.
+	Broadcasters []graph.NodeID
+	// Sources are the rumor origins for Gossip.
+	Sources []graph.NodeID
+}
+
+// Message is a transmitted frame. Messages are treated as opaque values by
+// the engine; only Origin is inspected (by the problem monitors).
+type Message struct {
+	// Origin is the node whose problem input this message carries: the
+	// global broadcast source, or the local broadcaster. Relays preserve it.
+	Origin graph.NodeID
+	// Payload is algorithm-defined (e.g. the shared permutation bits of the
+	// Section 4.1 source message).
+	Payload any
+}
+
+// Action is a node's choice for one round.
+type Action struct {
+	// Transmit is true to transmit Msg, false to listen.
+	Transmit bool
+	// Msg is the transmitted message; ignored when listening.
+	Msg *Message
+}
+
+// Listen is the listening action.
+func Listen() Action { return Action{} }
+
+// Transmit returns a transmitting action.
+func Transmit(m *Message) Action { return Action{Transmit: true, Msg: m} }
+
+// Process is one node's randomized protocol. The engine calls Step exactly
+// once per round (before delivery), then Deliver with the outcome.
+type Process interface {
+	// Step decides the round-r action. rng is the node's private randomness;
+	// all random choices must come from it so executions are reproducible.
+	Step(r int, rng *bitrand.Source) Action
+	// Deliver reports the round-r outcome: the received message, or nil for
+	// silence/collision. Transmitters always receive nil (a radio cannot
+	// hear while transmitting).
+	Deliver(r int, msg *Message)
+}
+
+// TransmitProber is implemented by processes whose transmit decision in the
+// upcoming round is a Bernoulli trial with a probability determined by
+// current state. This is exactly the information an online adaptive link
+// process may use (Theorem 3.1: "E[|X| | S] ... requires only the state at
+// the beginning of the round, not the random choices made during it").
+//
+// All algorithms in this repository implement it.
+type TransmitProber interface {
+	// TransmitProb returns the probability of transmitting in round r given
+	// the state at the beginning of r.
+	TransmitProb(r int) float64
+}
+
+// Algorithm constructs the per-node processes for a network and problem
+// instance. Factories are what oblivious adversaries are allowed to know:
+// the algorithm description, not its coins. Sampling adversaries use the
+// factory to pre-simulate executions with fresh randomness.
+type Algorithm interface {
+	// Name identifies the algorithm in traces and result tables.
+	Name() string
+	// NewProcesses returns one fresh process per node of the network.
+	// Implementations draw any construction-time randomness (e.g. the
+	// Section 4.1 source bits) from rng.
+	NewProcesses(net *graph.Dual, spec Spec, rng *bitrand.Source) []Process
+}

@@ -1,0 +1,58 @@
+package radio
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ReferenceDeliveries computes, by direct enumeration, the set of successful
+// receptions for one round of the dual graph model: listener u receives from
+// v iff v is the unique transmitter among u's neighbors in G ∪ selector(E'\E).
+//
+// It is deliberately naive — O(n · Δ) with no shared state — and serves as
+// the differential-testing oracle for the engine's optimized delivery paths
+// (transmitter iteration, clique-cover tallies, complete-topology fast path).
+func ReferenceDeliveries(net *graph.Dual, selector graph.EdgeSelector, transmitters []graph.NodeID) []Delivery {
+	if selector == nil {
+		selector = graph.SelectNone{}
+	}
+	isTx := make(map[graph.NodeID]bool, len(transmitters))
+	for _, v := range transmitters {
+		isTx[v] = true
+	}
+	var out []Delivery
+	for u := 0; u < net.N(); u++ {
+		if isTx[u] {
+			continue // a radio cannot hear while transmitting
+		}
+		count := 0
+		from := -1
+		for _, v := range net.G().Neighbors(u) {
+			if isTx[v] {
+				count++
+				from = v
+			}
+		}
+		for _, v := range net.ExtraNeighbors(u) {
+			if isTx[v] && selector.Includes(u, v) {
+				count++
+				from = v
+			}
+		}
+		if count == 1 {
+			out = append(out, Delivery{To: u, From: from})
+		}
+	}
+	return out
+}
+
+// SortDeliveries orders deliveries for comparison.
+func SortDeliveries(ds []Delivery) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].To != ds[j].To {
+			return ds[i].To < ds[j].To
+		}
+		return ds[i].From < ds[j].From
+	})
+}

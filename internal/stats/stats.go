@@ -1,0 +1,154 @@
+// Package stats provides the summary statistics, scaling fits, and table
+// rendering used by the experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Median float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary; an empty input yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	for _, x := range sorted {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(sorted))
+	if len(sorted) > 1 {
+		var ss float64
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample with linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MedianInts returns the median of an integer sample (0 for empty input).
+func MedianInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	sort.Float64s(fs)
+	return Quantile(fs, 0.5)
+}
+
+// Fit is a least-squares line y = Intercept + Slope·x.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a + b·x by least squares. Degenerate inputs (fewer
+// than two points, or zero x-variance) return a flat fit with R2 = 0.
+func LinearFit(x, y []float64) Fit {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 2 {
+		return Fit{}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: my}
+	}
+	b := sxy / sxx
+	fit := Fit{Slope: b, Intercept: my - b*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// GrowthExponent fits T(n) ≈ c·n^e on log-log axes and returns e. It is the
+// harness's shape detector: e ≈ 1 for the linear lower-bound rows, e ≈ 0.5
+// for the bracelet √n row, e near 0 for polylog algorithms. Non-positive
+// samples are skipped.
+func GrowthExponent(ns []float64, ts []float64) Fit {
+	var lx, ly []float64
+	for i := 0; i < len(ns) && i < len(ts); i++ {
+		if ns[i] > 0 && ts[i] > 0 {
+			lx = append(lx, math.Log(ns[i]))
+			ly = append(ly, math.Log(ts[i]))
+		}
+	}
+	return LinearFit(lx, ly)
+}
+
+// PolylogRatio measures how T scales against D·log n + log² n: the ratio of
+// measured time to that reference, useful for checking the protocol-model
+// and oblivious-model upper bound shapes (flat ratios across n mean the
+// bound's shape holds).
+func PolylogRatio(t float64, d, n int) float64 {
+	logN := math.Log2(float64(n))
+	if logN < 1 {
+		logN = 1
+	}
+	ref := float64(d)*logN + logN*logN
+	if ref <= 0 {
+		return 0
+	}
+	return t / ref
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEq(s.Mean, 3) || !almostEq(s.Median, 3) || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2.5)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEq(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	err := quick.Check(func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		sort.Float64s(raw)
+		a, b := math.Mod(math.Abs(q1), 1), math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(raw, a) <= Quantile(raw, b)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	if got := MedianInts([]int{5, 1, 3}); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := MedianInts([]int{4, 2}); got != 3 {
+		t.Fatalf("even median = %v", got)
+	}
+	if MedianInts(nil) != 0 {
+		t.Fatal("empty median must be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	f := LinearFit(x, y)
+	if !almostEq(f.Slope, 2) || !almostEq(f.Intercept, 1) || !almostEq(f.R2, 1) {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{2}); f.Slope != 0 {
+		t.Fatal("single point must give flat fit")
+	}
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if f.Slope != 0 || !almostEq(f.Intercept, 5) {
+		t.Fatalf("zero-variance fit %+v", f)
+	}
+}
+
+func TestGrowthExponentDetectsShapes(t *testing.T) {
+	ns := []float64{64, 256, 1024, 4096}
+	linear := make([]float64, len(ns))
+	sqrt := make([]float64, len(ns))
+	polylog := make([]float64, len(ns))
+	for i, n := range ns {
+		linear[i] = 3 * n
+		sqrt[i] = 5 * math.Sqrt(n)
+		polylog[i] = math.Pow(math.Log2(n), 2)
+	}
+	if e := GrowthExponent(ns, linear).Slope; math.Abs(e-1) > 0.01 {
+		t.Fatalf("linear exponent %v", e)
+	}
+	if e := GrowthExponent(ns, sqrt).Slope; math.Abs(e-0.5) > 0.01 {
+		t.Fatalf("sqrt exponent %v", e)
+	}
+	if e := GrowthExponent(ns, polylog).Slope; e > 0.4 {
+		t.Fatalf("polylog exponent %v should be well below linear", e)
+	}
+}
+
+func TestGrowthExponentSkipsNonPositive(t *testing.T) {
+	f := GrowthExponent([]float64{10, -5, 100}, []float64{10, 3, 100})
+	if !almostEq(f.Slope, 1) {
+		t.Fatalf("slope %v, want 1", f.Slope)
+	}
+}
+
+func TestPolylogRatio(t *testing.T) {
+	// T = D·log n + log² n gives ratio exactly 1.
+	n, d := 1024, 16
+	ref := float64(d)*10 + 100
+	if got := PolylogRatio(ref, d, n); !almostEq(got, 1) {
+		t.Fatalf("ratio %v", got)
+	}
+	if PolylogRatio(5, 0, 1) <= 0 {
+		t.Fatal("degenerate inputs must still give a positive ratio")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "rounds", "ratio")
+	tb.AddRow(64, 128, 1.5)
+	tb.AddRow(1024, 20000, 0.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "20000") || !strings.Contains(out, "1.500") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", `q"u`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {12345, "12345"}, {42.123, "42.1"}, {1.23456, "1.235"},
+	}
+	for _, c := range cases {
+		if got := fmtFloat(c.v); got != c.want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package trace analyzes recorded executions: progress curves (how many
+// nodes are informed or satisfied per round), channel utilization, per-node
+// activity, and CSV export. It consumes the radio package's round records
+// and results, turning single runs into the time-series views used by the
+// tools and by EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/radio"
+)
+
+// ProgressCurve is the number of problem-relevant completions (informed
+// nodes, or satisfied receivers) at the end of each round, derived from a
+// Result's per-node completion rounds.
+type ProgressCurve struct {
+	// Counts[r] is the cumulative count after round r.
+	Counts []int
+	// Total is the final count.
+	Total int
+}
+
+// ProgressFromResult builds the curve from a Result: InformedAt for global
+// broadcast, ReceiverDoneAt for local. The curve has res.Rounds entries.
+func ProgressFromResult(res radio.Result) ProgressCurve {
+	at := res.InformedAt
+	if at == nil {
+		at = res.ReceiverDoneAt
+	}
+	rounds := res.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	counts := make([]int, rounds)
+	total := 0
+	for _, r := range at {
+		if r < 0 {
+			continue
+		}
+		total++
+		if r < rounds {
+			counts[r]++
+		}
+	}
+	for i := 1; i < rounds; i++ {
+		counts[i] += counts[i-1]
+	}
+	return ProgressCurve{Counts: counts, Total: total}
+}
+
+// TimeToFraction returns the first round by which the cumulative count
+// reaches the given fraction of the total, or -1 if never.
+func (p ProgressCurve) TimeToFraction(frac float64) int {
+	if p.Total == 0 {
+		return -1
+	}
+	want := int(frac * float64(p.Total))
+	if want < 1 {
+		want = 1
+	}
+	for r, c := range p.Counts {
+		if c >= want {
+			return r
+		}
+	}
+	return -1
+}
+
+// ChannelStats summarizes medium usage over a recorded execution.
+type ChannelStats struct {
+	Rounds            int
+	Transmissions     int
+	Deliveries        int
+	SilentRounds      int // no transmitter
+	SingletonRounds   int // exactly one transmitter
+	CollisionRounds   int // ≥2 transmitters, no delivery
+	DeliveringRounds  int // ≥1 delivery
+	MaxTransmitters   int
+	DenseLinkRounds   int // adversary selected "all"
+	SparseLinkRounds  int // adversary selected "none"
+	PartialLinkRounds int
+}
+
+// Utilization is the fraction of rounds with at least one delivery.
+func (c ChannelStats) Utilization() float64 {
+	if c.Rounds == 0 {
+		return 0
+	}
+	return float64(c.DeliveringRounds) / float64(c.Rounds)
+}
+
+// AnalyzeChannel computes ChannelStats from a recorded trace.
+func AnalyzeChannel(rec *radio.MemRecorder) ChannelStats {
+	var cs ChannelStats
+	cs.Rounds = len(rec.Rounds)
+	for _, r := range rec.Rounds {
+		tx := len(r.Transmitters)
+		cs.Transmissions += tx
+		cs.Deliveries += len(r.Deliveries)
+		if tx > cs.MaxTransmitters {
+			cs.MaxTransmitters = tx
+		}
+		switch {
+		case tx == 0:
+			cs.SilentRounds++
+		case tx == 1:
+			cs.SingletonRounds++
+		case len(r.Deliveries) == 0:
+			cs.CollisionRounds++
+		}
+		if len(r.Deliveries) > 0 {
+			cs.DeliveringRounds++
+		}
+		switch r.SelectorKind {
+		case "all":
+			cs.DenseLinkRounds++
+		case "none":
+			cs.SparseLinkRounds++
+		default:
+			cs.PartialLinkRounds++
+		}
+	}
+	return cs
+}
+
+// NodeActivity is one node's footprint in a trace.
+type NodeActivity struct {
+	Node          int
+	Transmissions int
+	Receptions    int
+}
+
+// PerNodeActivity tallies transmissions and receptions per node, sorted by
+// node id. Nodes with no activity are omitted.
+func PerNodeActivity(rec *radio.MemRecorder) []NodeActivity {
+	tx := map[int]int{}
+	rx := map[int]int{}
+	for _, r := range rec.Rounds {
+		for _, u := range r.Transmitters {
+			tx[u]++
+		}
+		for _, d := range r.Deliveries {
+			rx[d.To]++
+		}
+	}
+	ids := map[int]bool{}
+	for u := range tx {
+		ids[u] = true
+	}
+	for u := range rx {
+		ids[u] = true
+	}
+	out := make([]NodeActivity, 0, len(ids))
+	for u := range ids {
+		out = append(out, NodeActivity{Node: u, Transmissions: tx[u], Receptions: rx[u]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// CSV renders a trace as one row per round: round, transmitters, deliveries,
+// selector kind.
+func CSV(rec *radio.MemRecorder) string {
+	var b strings.Builder
+	b.WriteString("round,transmitters,deliveries,selector\n")
+	for _, r := range rec.Rounds {
+		fmt.Fprintf(&b, "%d,%d,%d,%s\n", r.Round, len(r.Transmitters), len(r.Deliveries), r.SelectorKind)
+	}
+	return b.String()
+}
+
+// ProgressCSV renders a progress curve as round,count rows.
+func ProgressCSV(p ProgressCurve) string {
+	var b strings.Builder
+	b.WriteString("round,completed\n")
+	for r, c := range p.Counts {
+		fmt.Fprintf(&b, "%d,%d\n", r, c)
+	}
+	return b.String()
+}

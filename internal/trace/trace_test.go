@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func TestProgressFromResultGlobal(t *testing.T) {
+	res := radio.Result{
+		Rounds:     4,
+		InformedAt: []int{0, 0, 1, 3, -1},
+	}
+	p := ProgressFromResult(res)
+	if p.Total != 4 {
+		t.Fatalf("total = %d", p.Total)
+	}
+	want := []int{2, 3, 3, 4}
+	for i, w := range want {
+		if p.Counts[i] != w {
+			t.Fatalf("Counts[%d] = %d, want %d", i, p.Counts[i], w)
+		}
+	}
+}
+
+func TestProgressFromResultLocal(t *testing.T) {
+	res := radio.Result{
+		Rounds:         3,
+		ReceiverDoneAt: []int{-1, 2, 0, -1},
+	}
+	p := ProgressFromResult(res)
+	if p.Total != 2 || p.Counts[0] != 1 || p.Counts[2] != 2 {
+		t.Fatalf("progress %+v", p)
+	}
+}
+
+func TestProgressDegenerate(t *testing.T) {
+	p := ProgressFromResult(radio.Result{Rounds: 0, InformedAt: []int{-1}})
+	if len(p.Counts) != 1 || p.Total != 0 {
+		t.Fatalf("degenerate progress %+v", p)
+	}
+	if p.TimeToFraction(0.5) != -1 {
+		t.Fatal("empty curve must report -1")
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	p := ProgressCurve{Counts: []int{1, 5, 9, 10}, Total: 10}
+	if got := p.TimeToFraction(0.5); got != 1 {
+		t.Fatalf("half at round %d, want 1", got)
+	}
+	if got := p.TimeToFraction(1.0); got != 3 {
+		t.Fatalf("all at round %d, want 3", got)
+	}
+	if got := p.TimeToFraction(0.0); got != 0 {
+		t.Fatalf("first at round %d, want 0", got)
+	}
+}
+
+func TestAnalyzeChannelOnFlood(t *testing.T) {
+	rec, res := realFloodTrace(t, 6)
+	cs := AnalyzeChannel(rec)
+	if cs.Rounds != res.Rounds {
+		t.Fatalf("rounds %d != %d", cs.Rounds, res.Rounds)
+	}
+	if int64(cs.Transmissions) != res.Transmissions {
+		t.Fatalf("transmissions %d != %d", cs.Transmissions, res.Transmissions)
+	}
+	if int64(cs.Deliveries) != res.Deliveries {
+		t.Fatalf("deliveries %d != %d", cs.Deliveries, res.Deliveries)
+	}
+	if cs.SilentRounds != 0 {
+		t.Fatal("flood never goes silent")
+	}
+	if cs.SingletonRounds < 1 {
+		t.Fatal("round 0 has a single transmitter")
+	}
+	if cs.Utilization() <= 0 || cs.Utilization() > 1 {
+		t.Fatalf("utilization %v", cs.Utilization())
+	}
+	if cs.SparseLinkRounds != cs.Rounds {
+		t.Fatal("protocol-model rounds must all record selector none")
+	}
+}
+
+func TestPerNodeActivity(t *testing.T) {
+	rec, _ := realFloodTrace(t, 5)
+	acts := PerNodeActivity(rec)
+	if len(acts) == 0 {
+		t.Fatal("no activity recorded")
+	}
+	// Node 0 transmits every round, never receives.
+	if acts[0].Node != 0 || acts[0].Transmissions == 0 || acts[0].Receptions != 0 {
+		t.Fatalf("node0 activity %+v", acts[0])
+	}
+	// The far end (node 4) receives exactly once.
+	last := acts[len(acts)-1]
+	if last.Node != 4 || last.Receptions != 1 {
+		t.Fatalf("far-end activity %+v", last)
+	}
+	// Sorted by node id.
+	for i := 1; i < len(acts); i++ {
+		if acts[i-1].Node >= acts[i].Node {
+			t.Fatal("activity not sorted")
+		}
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	rec, res := realFloodTrace(t, 4)
+	csv := CSV(rec)
+	if !strings.HasPrefix(csv, "round,transmitters,deliveries,selector\n") {
+		t.Fatalf("csv header: %q", csv[:40])
+	}
+	if got := strings.Count(csv, "\n"); got != len(rec.Rounds)+1 {
+		t.Fatalf("csv lines = %d", got)
+	}
+	pcsv := ProgressCSV(ProgressFromResult(res))
+	if !strings.HasPrefix(pcsv, "round,completed\n") {
+		t.Fatal("progress csv header")
+	}
+}
+
+// realFloodTrace uses a real flooding algorithm (informed nodes always
+// transmit) — deterministic message advance on a line.
+func realFloodTrace(t *testing.T, n int) (*radio.MemRecorder, radio.Result) {
+	t.Helper()
+	rec := &radio.MemRecorder{}
+	res, err := radio.Run(radio.Config{
+		Net:       graph.UniformDual(graph.Line(n)),
+		Algorithm: relayAlgorithm{},
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Recorder:  rec,
+		MaxRounds: 4 * n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("flood did not complete")
+	}
+	return rec, res
+}
+
+type relayAlgorithm struct{}
+
+func (relayAlgorithm) Name() string { return "relay" }
+
+func (relayAlgorithm) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	out := make([]radio.Process, net.N())
+	for u := 0; u < net.N(); u++ {
+		p := &relayProc{}
+		if u == spec.Source {
+			p.msg = &radio.Message{Origin: spec.Source}
+		}
+		out[u] = p
+	}
+	return out
+}
+
+type relayProc struct{ msg *radio.Message }
+
+func (p *relayProc) TransmitProb(int) float64 {
+	if p.msg != nil {
+		return 1
+	}
+	return 0
+}
+
+func (p *relayProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if p.msg != nil {
+		return radio.Transmit(p.msg)
+	}
+	return radio.Listen()
+}
+
+func (p *relayProc) Deliver(r int, msg *radio.Message) {
+	if msg != nil && p.msg == nil {
+		p.msg = msg
+	}
+}

@@ -1,0 +1,210 @@
+// Package viz renders plain-text plots for experiment output: scatter/line
+// charts of (x, y) series with optional log scaling, used by the tools to
+// show scaling curves directly in the terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named sequence of points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is an ASCII chart canvas.
+type Plot struct {
+	Width, Height int
+	LogX, LogY    bool
+	series        []Series
+}
+
+// NewPlot creates a plot with the given canvas size (sensible minimums are
+// enforced).
+func NewPlot(width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Plot{Width: width, Height: height}
+}
+
+// Add appends a series; points with non-finite (or, under log scaling,
+// non-positive) coordinates are dropped at render time.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (p *Plot) transform(x, y float64) (float64, float64, bool) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, 0, false
+	}
+	if p.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log10(x)
+	}
+	if p.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log10(y)
+	}
+	return x, y, true
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			x, y, ok := p.transform(s.X[i], s.Y[i])
+			if !ok {
+				continue
+			}
+			pts = append(pts, pt{x, y, m})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, q := range pts {
+		col := int((q.x - minX) / (maxX - minX) * float64(p.Width-1))
+		row := p.Height - 1 - int((q.y-minY)/(maxY-minY)*float64(p.Height-1))
+		grid[row][col] = q.m
+	}
+
+	var b strings.Builder
+	yLabel := func(v float64) string {
+		if p.LogY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%9.4g", v)
+	}
+	for r, line := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", yLabel(maxY), line)
+		case p.Height - 1:
+			fmt.Fprintf(&b, "%s |%s\n", yLabel(minY), line)
+		default:
+			fmt.Fprintf(&b, "%9s |%s\n", "", line)
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", p.Width) + "\n")
+	xl, xr := minX, maxX
+	if p.LogX {
+		xl, xr = math.Pow(10, xl), math.Pow(10, xr)
+	}
+	fmt.Fprintf(&b, "%10s %-*.4g%*.4g\n", "", p.Width/2, xl, p.Width/2, xr)
+	// Legend.
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "%10s %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Sparkline renders a compact single-line chart of values using block
+// characters, for inlining progress curves into reports.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = len(values)
+	}
+	// Downsample to width buckets by max.
+	buckets := make([]float64, width)
+	for i := range buckets {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := math.Inf(-1)
+		for j := lo; j < hi && j < len(values); j++ {
+			m = math.Max(m, values[j])
+		}
+		buckets[i] = m
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		min, max = math.Min(min, v), math.Max(max, v)
+	}
+	if max == min {
+		max = min + 1
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := int((v - min) / (max - min) * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Histogram renders value counts as horizontal bars.
+func Histogram(values []float64, bins, width int) string {
+	if len(values) == 0 || bins < 1 {
+		return "(empty)\n"
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	min, max := sorted[0], sorted[len(sorted)-1]
+	if max == min {
+		max = min + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range sorted {
+		i := int((v - min) / (max - min) * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lo := min + float64(i)*(max-min)/float64(bins)
+		hi := min + float64(i+1)*(max-min)/float64(bins)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*width/maxCount)
+		}
+		fmt.Fprintf(&b, "[%9.4g, %9.4g) %4d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

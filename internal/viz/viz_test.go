@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	p := NewPlot(40, 10)
+	p.Add(Series{Name: "linear", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points rendered")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Fatal("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestPlotMultiSeriesMarkers(t *testing.T) {
+	p := NewPlot(30, 8)
+	p.Add(Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}})
+	p.Add(Series{Name: "b", X: []float64{1, 2}, Y: []float64{2, 1}})
+	out := p.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestPlotLogScales(t *testing.T) {
+	p := NewPlot(40, 8)
+	p.LogX, p.LogY = true, true
+	p.Add(Series{Name: "pow", X: []float64{10, 100, 1000}, Y: []float64{1, 10, 100}})
+	out := p.Render()
+	if strings.Contains(out, "(no plottable points)") {
+		t.Fatal("log plot dropped everything")
+	}
+	// Non-positive points are dropped rather than crashing.
+	p2 := NewPlot(30, 6)
+	p2.LogY = true
+	p2.Add(Series{Name: "bad", X: []float64{1, 2}, Y: []float64{0, -5}})
+	if out := p2.Render(); !strings.Contains(out, "no plottable points") {
+		t.Fatalf("expected empty plot, got:\n%s", out)
+	}
+}
+
+func TestPlotHandlesNaN(t *testing.T) {
+	p := NewPlot(30, 6)
+	p.Add(Series{Name: "n", X: []float64{1, math.NaN(), 3}, Y: []float64{1, 2, math.Inf(1)}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("finite point should render")
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := NewPlot(30, 6)
+	p.Add(Series{Name: "flat", X: []float64{5, 5}, Y: []float64{3, 3}})
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("flat series should render:\n%s", out)
+	}
+}
+
+func TestPlotMinimumSize(t *testing.T) {
+	p := NewPlot(1, 1)
+	if p.Width < 20 || p.Height < 5 {
+		t.Fatal("minimum canvas not enforced")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline width %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("sparkline extremes: %q", s)
+	}
+	if Sparkline(nil, 5) != "" {
+		t.Fatal("empty input must render empty")
+	}
+	// Flat input renders without panic.
+	if got := Sparkline([]float64{2, 2, 2}, 3); len([]rune(got)) != 3 {
+		t.Fatalf("flat sparkline %q", got)
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 10)
+	if len([]rune(s)) != 10 {
+		t.Fatalf("downsampled width %d", len([]rune(s)))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bins = %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "####") {
+		t.Fatalf("largest bin missing bar:\n%s", out)
+	}
+	if Histogram(nil, 3, 10) != "(empty)\n" {
+		t.Fatal("empty histogram")
+	}
+}
