@@ -1,9 +1,9 @@
 // Package repro's root benchmarks regenerate every Figure-1 cell and
 // supporting result of the paper. Each benchmark wraps one registered
-// experiment (see internal/experiments and DESIGN.md's experiment index);
-// ns/op measures one full quick-scale experiment sweep, and the measured
-// tables are printed once per benchmark so `go test -bench=.` doubles as a
-// results report.
+// experiment (DESIGN.md documents the experiment index and the sweep
+// scheduler); ns/op measures one full quick-scale experiment sweep, and the
+// measured tables are printed once per benchmark so `go test -bench=.`
+// doubles as a results report.
 package main
 
 import (
@@ -105,3 +105,24 @@ func BenchmarkExtGossip(b *testing.B) { benchExperiment(b, "EXT-gossip") }
 
 // BenchmarkExtLeader regenerates the leader election extension study.
 func BenchmarkExtLeader(b *testing.B) { benchExperiment(b, "EXT-leader") }
+
+// BenchmarkRegistrySharedPool runs the whole registry through one shared
+// worker pool (the `dgbench -all` path): every (experiment × sweep-point ×
+// trial) triple lands in one work queue, so ns/op tracks how the full quick
+// suite scales with cores.
+func BenchmarkRegistrySharedPool(b *testing.B) {
+	all := experiments.All()
+	for i := 0; i < b.N; i++ {
+		results, errs := experiments.RunAll(benchCfg, all)
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("%s: %v", all[j].ID, err)
+			}
+		}
+		for j, res := range results {
+			if res.Table.NumRows() == 0 {
+				b.Fatalf("%s: empty result table", all[j].ID)
+			}
+		}
+	}
+}

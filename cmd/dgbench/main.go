@@ -5,10 +5,12 @@
 // Examples:
 //
 //	dgbench                    # quick suite (seconds)
-//	dgbench -full              # full suite (regenerates EXPERIMENTS.md data)
+//	dgbench -all               # whole registry through one shared worker pool
+//	dgbench -full              # full suite (minutes)
 //	dgbench -run F1-online     # only matching experiment ids
+//	dgbench -workers 4         # bound the trial worker pool (0 = GOMAXPROCS)
 //	dgbench -csv               # tables as CSV
-//	dgbench -markdown          # EXPERIMENTS.md-style output
+//	dgbench -markdown          # reference-table markdown output
 package main
 
 import (
@@ -29,67 +31,120 @@ func main() {
 	}
 }
 
+// printOpts selects the output format for one experiment result.
+type printOpts struct {
+	markdown bool
+	csv      bool
+	plot     bool
+	// elapsed is printed in the default format when non-zero; the -all mode
+	// omits it because experiments overlap on the shared pool (and so the
+	// output stays byte-identical across worker counts).
+	elapsed time.Duration
+}
+
+func printResult(res *experiments.Result, opts printOpts) {
+	switch {
+	case opts.markdown:
+		fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
+		fmt.Printf("Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
+		for _, n := range res.Notes {
+			fmt.Printf("- %s\n", n)
+		}
+		fmt.Printf("\n")
+	case opts.csv:
+		fmt.Printf("# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
+	default:
+		if opts.elapsed > 0 {
+			fmt.Printf("=== %s — %s  [%v]\n", res.ID, res.Title, opts.elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Printf("=== %s — %s\n", res.ID, res.Title)
+		}
+		fmt.Printf("paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
+		for _, n := range res.Notes {
+			fmt.Printf("  %s\n", n)
+		}
+		if opts.plot && len(res.Series) > 0 {
+			p := viz.NewPlot(56, 12)
+			p.LogX, p.LogY = true, true
+			for _, s := range res.Series {
+				p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
+			}
+			fmt.Printf("\nscaling (log-log):\n%s", p.Render())
+		}
+		fmt.Printf("\n")
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
 		full     = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
+		quick    = fs.Bool("quick", true, "reduced sweeps for fast runs (ignored when -full is set)")
+		all      = fs.Bool("all", false, "run every selected experiment concurrently through one shared worker pool")
+		workers  = fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; 1 forces sequential trials)")
 		filter   = fs.String("run", "", "only run experiments whose id contains this substring")
 		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV")
-		markdown = fs.Bool("markdown", false, "emit EXPERIMENTS.md-style markdown")
+		markdown = fs.Bool("markdown", false, "emit reference-table markdown")
 		plot     = fs.Bool("plot", false, "render scaling curves as log-log ASCII plots")
 		seed     = fs.Uint64("seed", 0, "base seed offset")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: !*full, Trials: *trials, BaseSeed: *seed}
+	cfg := experiments.Config{
+		Quick:    *quick && !*full,
+		Trials:   *trials,
+		BaseSeed: *seed,
+		Workers:  *workers,
+	}
+	opts := printOpts{markdown: *markdown, csv: *csv, plot: *plot}
 
-	all := experiments.All()
-	ran, failed := 0, 0
-	for _, e := range all {
+	var selected []experiments.Experiment
+	for _, e := range experiments.All() {
 		if *filter != "" && !strings.Contains(e.ID, *filter) {
 			continue
 		}
-		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		ran++
-		if !res.Pass {
-			failed++
-		}
-		elapsed := time.Since(start).Round(time.Millisecond)
-		switch {
-		case *markdown:
-			fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
-			fmt.Printf("Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
-			for _, n := range res.Notes {
-				fmt.Printf("- %s\n", n)
-			}
-			fmt.Printf("\n")
-		case *csv:
-			fmt.Printf("# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
-		default:
-			fmt.Printf("=== %s — %s  [%v]\n", res.ID, res.Title, elapsed)
-			fmt.Printf("paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
-			for _, n := range res.Notes {
-				fmt.Printf("  %s\n", n)
-			}
-			if *plot && len(res.Series) > 0 {
-				p := viz.NewPlot(56, 12)
-				p.LogX, p.LogY = true, true
-				for _, s := range res.Series {
-					p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
-				}
-				fmt.Printf("\nscaling (log-log):\n%s", p.Render())
-			}
-			fmt.Printf("\n")
-		}
+		selected = append(selected, e)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		return fmt.Errorf("no experiment matches -run %q", *filter)
+	}
+
+	ran, failed := 0, 0
+	if *all {
+		// One shared pool: every (experiment × sweep-point × trial) triple of
+		// the selection lands in the same work queue.
+		start := time.Now()
+		results, errs := experiments.RunAll(cfg, selected)
+		for i, e := range selected {
+			if errs[i] != nil {
+				return fmt.Errorf("%s: %w", e.ID, errs[i])
+			}
+			ran++
+			if !results[i].Pass {
+				failed++
+			}
+			printResult(results[i], opts)
+		}
+		if !*csv && !*markdown {
+			fmt.Printf("shared pool: %d workers, %v total\n", cfg.EffectiveWorkers(), time.Since(start).Round(time.Millisecond))
+		}
+	} else {
+		for _, e := range selected {
+			start := time.Now()
+			res, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			ran++
+			if !res.Pass {
+				failed++
+			}
+			perExp := opts
+			perExp.elapsed = time.Since(start)
+			printResult(res, perExp)
+		}
 	}
 	fmt.Printf("%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
 	if failed > 0 {

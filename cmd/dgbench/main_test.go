@@ -23,4 +23,21 @@ func TestRunUnknownFilter(t *testing.T) {
 	if err := run([]string{"-run", "no-such-experiment"}); err == nil {
 		t.Fatal("unknown filter accepted")
 	}
+	if err := run([]string{"-all", "-run", "no-such-experiment"}); err == nil {
+		t.Fatal("unknown filter accepted in -all mode")
+	}
+}
+
+func TestRunAllSharedPool(t *testing.T) {
+	// "2" selects the two fast lemma checks (L3.2-hitting, L4.2-permdecay);
+	// both run through the shared pool with an explicit worker count.
+	if err := run([]string{"-all", "-workers", "2", "-run", "2", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkersSequential(t *testing.T) {
+	if err := run([]string{"-workers", "1", "-run", "L3.2", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -44,28 +44,46 @@ type Source struct {
 // New returns a Source seeded from the given master seed.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes s in place, exactly as New(seed) constructs it:
+// state, consumed-bit accounting, and buffered bits are all reset. It lets
+// callers that run many executions reuse Source storage instead of
+// allocating a fresh Source per stream.
+func (s *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&sm)
+	for i := range s.s {
+		s.s[i] = splitmix64(&sm)
 	}
 	// xoshiro requires a nonzero state; splitmix64 output is zero for all
 	// four words with negligible probability, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
+	s.consumed = 0
+	s.buf, s.nbuf = 0, 0
 }
 
 // Split derives an independent child source labeled by the given values.
 // Children with distinct labels are independent streams; the same
 // (parent seed, labels) pair always yields the same child.
 func (s *Source) Split(labels ...uint64) *Source {
+	return New(s.SplitSeed(labels...))
+}
+
+// SplitSeed returns the child seed Split derives for the given labels:
+// New(s.SplitSeed(labels...)) and s.Split(labels...) are equivalent. It does
+// not advance s. Combined with Reseed it derives child streams without
+// allocating.
+func (s *Source) SplitSeed(labels ...uint64) uint64 {
 	sm := s.s[0] ^ s.s[3]
 	for _, l := range labels {
 		sm ^= splitmix64(&sm) + l
 		sm = splitmix64(&sm)
 	}
-	return New(sm)
+	return sm
 }
 
 // next64 returns the next raw 64-bit output (xoshiro256**).

@@ -208,3 +208,29 @@ func TestShuffle(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", xs)
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	fresh := New(77)
+	reused := New(1)
+	reused.Bits(13) // dirty the buffer and the consumed account
+	reused.Reseed(77)
+	if reused.Consumed() != 0 {
+		t.Fatal("Reseed must reset consumed bits")
+	}
+	for i := 0; i < 100; i++ {
+		if fresh.Uint64() != reused.Uint64() {
+			t.Fatalf("Reseed stream diverges from New at draw %d", i)
+		}
+	}
+}
+
+func TestSplitSeedMatchesSplit(t *testing.T) {
+	parent := New(5)
+	split := parent.Split(3, 9)
+	derived := New(parent.SplitSeed(3, 9))
+	for i := 0; i < 100; i++ {
+		if split.Uint64() != derived.Uint64() {
+			t.Fatalf("SplitSeed stream diverges from Split at draw %d", i)
+		}
+	}
+}

@@ -39,20 +39,22 @@ func runPermutationAblation(cfg Config) (*Result, error) {
 	}
 	d, _ := graph.DualClique(n, 3)
 	medians := map[string]float64{}
+	sw := newSweep(cfg)
 	for _, alg := range []radio.Algorithm{core.PermutedGlobal{}, core.DecayGlobal{}} {
-		out, err := runTrials(func(seed uint64) radio.Config {
+		sw.point(cfg.trials(), func(seed uint64) radio.Config {
 			return radio.Config{
 				Net: d, Algorithm: alg,
 				Spec: radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
 				Link: adversary.Presample{C: 1, Horizon: 4 * n},
 				Seed: seed, MaxRounds: 400 * n, UseCliqueCover: true,
 			}
-		}, cfg.trials(), cfg.BaseSeed)
-		if err != nil {
-			return nil, err
-		}
-		medians[alg.Name()] = out.MedianRounds
-		res.Table.AddRow(alg.Name(), n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+		}, func(out trialOutcome) {
+			medians[alg.Name()] = out.MedianRounds
+			res.Table.AddRow(alg.Name(), n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	ratio := medians["decay-global"] / medians["permuted-global"]
 	res.Notes = append(res.Notes, fmt.Sprintf("plain decay / permuted decay = %.2fx at n=%d (higher = permutation bits matter more)", ratio, n))
@@ -84,30 +86,32 @@ func runSeedAblation(cfg Config) (*Result, error) {
 	medians := map[string]float64{}
 	solvedAll := true
 	var seededMedian float64
+	sw := newSweep(cfg)
 	for _, alg := range []radio.Algorithm{
 		core.GeoLocal{},
 		core.GeoLocal{DisableSeedSharing: true},
 		core.PermutedLocalUncoordinated{},
 	} {
-		out, err := runTrials(func(seed uint64) radio.Config {
+		sw.point(cfg.trials(), func(seed uint64) radio.Config {
 			return radio.Config{
 				Net: net, Algorithm: alg,
 				Spec: radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: b},
 				Link: adversary.RandomLoss{P: 0.5},
 				Seed: seed, MaxRounds: 1000 * n,
 			}
-		}, cfg.trials(), cfg.BaseSeed)
-		if err != nil {
-			return nil, err
-		}
-		medians[alg.Name()] = out.MedianRounds
-		if alg.Name() == "geo-local" {
-			seededMedian = out.MedianRounds
-			if out.Solved < out.Trials {
-				solvedAll = false
+		}, func(out trialOutcome) {
+			medians[alg.Name()] = out.MedianRounds
+			if alg.Name() == "geo-local" {
+				seededMedian = out.MedianRounds
+				if out.Solved < out.Trials {
+					solvedAll = false
+				}
 			}
-		}
-		res.Table.AddRow(alg.Name(), n, delta, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			res.Table.AddRow(alg.Name(), n, delta, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	ratio := medians["geo-local-noseeds"] / medians["geo-local"]
 	res.Notes = append(res.Notes,

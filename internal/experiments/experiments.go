@@ -6,12 +6,13 @@
 // claimed bounds, separations between rows).
 //
 // Experiments run at two scales: Quick (seconds; used by tests and smoke
-// runs) and Full (minutes; regenerates the numbers recorded in
-// EXPERIMENTS.md).
+// runs) and Full (minutes; regenerates the reference tables, exportable with
+// `dgbench -full -markdown`). DESIGN.md documents the registry and the sweep
+// scheduler that executes it.
 package experiments
 
 import (
-	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/radio"
@@ -27,6 +28,13 @@ type Config struct {
 	Trials int
 	// BaseSeed offsets all trial seeds, for variance studies.
 	BaseSeed uint64
+	// Workers bounds the trial worker pool (default GOMAXPROCS). Workers: 1
+	// forces sequential execution; the measured tables are identical at any
+	// setting, only wall clock changes.
+	Workers int
+	// pool, when non-nil, is the shared cross-experiment pool installed by
+	// RunAll; sweeps submit to it instead of creating their own.
+	pool *workerPool
 }
 
 func (c Config) trials() int {
@@ -38,6 +46,17 @@ func (c Config) trials() int {
 	}
 	return 15
 }
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveWorkers reports the worker pool size this configuration runs
+// with: Workers when set, GOMAXPROCS otherwise.
+func (c Config) EffectiveWorkers() int { return c.workers() }
 
 // Series is a named scaling curve measured by an experiment, for plotting.
 type Series struct {
@@ -103,43 +122,40 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// trialOutcome aggregates repeated runs of one configuration.
+// trialOutcome aggregates repeated runs of one configuration. Unsolved
+// trials are right-censored: they contribute their executed round budget to
+// the round summary, and Censored counts how many rows the summary treats
+// that way.
 type trialOutcome struct {
 	MedianRounds float64
 	MeanRounds   float64
 	Solved       int
+	Censored     int
 	Trials       int
 	P90          float64
 }
 
-// runTrials executes the config-factory over `trials` seeds and aggregates.
-// Unsolved runs contribute their MaxRounds as a (censored) round count.
-// Trials are independent seeded executions, so they run on a worker pool;
-// results are identical to sequential execution.
-func runTrials(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
-	return runTrialsParallel(mk, trials, baseSeed)
+// runTrials executes the config-factory over `trials` seeds through the
+// sweep scheduler and aggregates. It is the one-point convenience form of
+// declaring a sweep; multi-point experiments declare their whole sweep so
+// trials from every point interleave on the pool.
+func runTrials(cfg Config, mk func(seed uint64) radio.Config, trials int) (trialOutcome, error) {
+	sw := newSweep(cfg)
+	var out trialOutcome
+	sw.point(trials, mk, func(o trialOutcome) { out = o })
+	err := sw.run()
+	return out, err
 }
 
 // runTrialsSequential is the single-threaded reference used to verify the
-// parallel runner.
+// scheduler.
 func runTrialsSequential(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
-	out := trialOutcome{Trials: trials}
-	rounds := make([]float64, 0, trials)
+	results := make([]trialResult, trials)
 	for i := 0; i < trials; i++ {
 		res, err := radio.Run(mk(baseSeed + uint64(i) + 1))
-		if err != nil {
-			return out, fmt.Errorf("trial %d: %w", i, err)
-		}
-		if res.Solved {
-			out.Solved++
-		}
-		rounds = append(rounds, float64(res.Rounds))
+		results[i] = trialResult{rounds: float64(res.Rounds), solved: res.Solved, err: err}
 	}
-	s := stats.Summarize(rounds)
-	out.MedianRounds = s.Median
-	out.MeanRounds = s.Mean
-	out.P90 = s.P90
-	return out, nil
+	return aggregateTrials(results)
 }
 
 func verdict(pass bool) string {

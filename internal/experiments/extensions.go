@@ -43,6 +43,7 @@ func runGossipExt(cfg Config) (*Result, error) {
 		trials = 8
 	}
 	var kXs, kTs []float64
+	sw := newSweep(cfg)
 	for _, n := range sizes {
 		d, _ := graph.DualClique(n, 3)
 		for _, k := range ks {
@@ -50,7 +51,7 @@ func runGossipExt(cfg Config) (*Result, error) {
 			for i := range sources {
 				sources[i] = i * (n / (2 * k))
 			}
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(trials, func(seed uint64) radio.Config {
 				return radio.Config{
 					Net:       d,
 					Algorithm: gossip.TDM{},
@@ -58,17 +59,18 @@ func runGossipExt(cfg Config) (*Result, error) {
 					Link:      adversary.RandomLoss{P: 0.5},
 					Seed:      seed, MaxRounds: 4000 * n, UseCliqueCover: true,
 				}
-			}, trials, cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			res.Table.AddRow(n, k, out.MedianRounds, out.MedianRounds/float64(k),
-				fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-			if n == sizes[len(sizes)-1] {
-				kXs = append(kXs, float64(k))
-				kTs = append(kTs, out.MedianRounds)
-			}
+			}, func(out trialOutcome) {
+				res.Table.AddRow(n, k, out.MedianRounds, out.MedianRounds/float64(k),
+					fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+				if n == sizes[len(sizes)-1] {
+					kXs = append(kXs, float64(k))
+					kTs = append(kTs, out.MedianRounds)
+				}
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("rounds vs k (largest n)", kXs, kTs)
 	fit := stats.GrowthExponent(kXs, kTs)
@@ -101,11 +103,12 @@ func runLeaderExt(cfg Config) (*Result, error) {
 	if !cfg.Quick {
 		dcSizes = []int{64, 256, 1024}
 	}
+	sw := newSweep(cfg)
 	var dcNs, dcTs []float64
 	for _, n := range dcSizes {
 		d, _ := graph.DualClique(n, 3)
 		leader := alg.Leader(n)
-		out, err := runTrials(func(seed uint64) radio.Config {
+		sw.point(trials, func(seed uint64) radio.Config {
 			return radio.Config{
 				Net:       d,
 				Algorithm: alg,
@@ -113,16 +116,14 @@ func runLeaderExt(cfg Config) (*Result, error) {
 				Link:      adversary.RandomLoss{P: 0.5},
 				Seed:      seed, MaxRounds: 400 * n, UseCliqueCover: true,
 			}
-		}, trials, cfg.BaseSeed)
-		if err != nil {
-			return nil, err
-		}
-		if out.Solved < out.Trials {
-			res.Pass = false
-		}
-		res.Table.AddRow("dual-clique", n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-		dcNs = append(dcNs, float64(n))
-		dcTs = append(dcTs, out.MedianRounds)
+		}, func(out trialOutcome) {
+			if out.Solved < out.Trials {
+				res.Pass = false
+			}
+			res.Table.AddRow("dual-clique", n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			dcNs = append(dcNs, float64(n))
+			dcTs = append(dcTs, out.MedianRounds)
+		})
 	}
 
 	// Geographic grids: local contention, hop-by-hop spread; expect clearly
@@ -136,7 +137,7 @@ func runLeaderExt(cfg Config) (*Result, error) {
 		net := geoGridNet(side, 21)
 		n := net.N()
 		leader := alg.Leader(n)
-		out, err := runTrials(func(seed uint64) radio.Config {
+		sw.point(trials, func(seed uint64) radio.Config {
 			return radio.Config{
 				Net:       net,
 				Algorithm: alg,
@@ -144,16 +145,17 @@ func runLeaderExt(cfg Config) (*Result, error) {
 				Link:      adversary.RandomLoss{P: 0.5},
 				Seed:      seed, MaxRounds: 400 * n,
 			}
-		}, trials, cfg.BaseSeed)
-		if err != nil {
-			return nil, err
-		}
-		if out.Solved < out.Trials {
-			res.Pass = false
-		}
-		res.Table.AddRow("geo-grid", n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-		geoNs = append(geoNs, float64(n))
-		geoTs = append(geoTs, out.MedianRounds)
+		}, func(out trialOutcome) {
+			if out.Solved < out.Trials {
+				res.Pass = false
+			}
+			res.Table.AddRow("geo-grid", n, out.MedianRounds, out.P90, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			geoNs = append(geoNs, float64(n))
+			geoTs = append(geoTs, out.MedianRounds)
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 
 	res.addSeries("dual clique", dcNs, dcTs)

@@ -107,23 +107,25 @@ func runDualCliqueScaling(cfg Config, id, claim string, problem radio.Problem, l
 		Table:      stats.NewTable("algorithm", "n", "median", "p90", "median/n", "solved"),
 	}
 	var ns, ts []float64
+	sw := newSweep(cfg)
 	for _, n := range sizes {
 		d, m := graph.DualClique(n, 3)
 		spec := dualCliqueSpec(problem, m)
 		alg := dualCliqueAlg(problem)
-		out, err := runTrials(func(seed uint64) radio.Config {
+		sw.point(cfg.trials(), func(seed uint64) radio.Config {
 			return radio.Config{
 				Net: d, Algorithm: alg, Spec: spec, Link: link,
 				Seed: seed, MaxRounds: 400 * n, UseCliqueCover: true,
 			}
-		}, cfg.trials(), cfg.BaseSeed)
-		if err != nil {
-			return nil, err
-		}
-		res.Table.AddRow(alg.Name(), n, out.MedianRounds, out.P90, out.MedianRounds/float64(n),
-			fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-		ns = append(ns, float64(n))
-		ts = append(ts, out.MedianRounds)
+		}, func(out trialOutcome) {
+			res.Table.AddRow(alg.Name(), n, out.MedianRounds, out.P90, out.MedianRounds/float64(n),
+				fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			ns = append(ns, float64(n))
+			ts = append(ts, out.MedianRounds)
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("median rounds", ns, ts)
 	fit := stats.GrowthExponent(ns, ts)
@@ -150,33 +152,36 @@ func runObliviousGlobal(cfg Config) (*Result, error) {
 	}
 	medians := map[key]float64{}
 	var permNs, permTs []float64
+	sw := newSweep(cfg)
 	for _, n := range sizes {
 		d, _ := graph.DualClique(n, 3)
 		links := map[string]any{
 			"presample":   adversary.Presample{C: 1, Horizon: 4 * n},
 			"random-loss": adversary.RandomLoss{P: 0.5},
 		}
-		for advName, link := range links {
+		for _, advName := range sortedKeys(links) {
+			link := links[advName]
 			for _, alg := range []radio.Algorithm{core.PermutedGlobal{}, core.DecayGlobal{}} {
-				out, err := runTrials(func(seed uint64) radio.Config {
+				sw.point(cfg.trials(), func(seed uint64) radio.Config {
 					return radio.Config{
 						Net: d, Algorithm: alg,
 						Spec: radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
 						Link: link, Seed: seed, MaxRounds: 400 * n, UseCliqueCover: true,
 					}
-				}, cfg.trials(), cfg.BaseSeed)
-				if err != nil {
-					return nil, err
-				}
-				res.Table.AddRow(alg.Name(), advName, n, out.MedianRounds, out.P90,
-					fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-				medians[key{alg.Name(), advName, n}] = out.MedianRounds
-				if alg.Name() == "permuted-global" && advName == "presample" {
-					permNs = append(permNs, float64(n))
-					permTs = append(permTs, out.MedianRounds)
-				}
+				}, func(out trialOutcome) {
+					res.Table.AddRow(alg.Name(), advName, n, out.MedianRounds, out.P90,
+						fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+					medians[key{alg.Name(), advName, n}] = out.MedianRounds
+					if alg.Name() == "permuted-global" && advName == "presample" {
+						permNs = append(permNs, float64(n))
+						permTs = append(permTs, out.MedianRounds)
+					}
+				})
 			}
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("permuted-global vs presample", permNs, permTs)
 	fit := stats.GrowthExponent(permNs, permTs)

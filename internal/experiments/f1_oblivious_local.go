@@ -39,29 +39,31 @@ func runBracelet(cfg Config) (*Result, error) {
 		bands = []int{8, 16, 32}
 	}
 	var ns, ts []float64
+	sw := newSweep(cfg)
 	for _, k := range bands {
 		d, m := graph.BraceletExplicit(k, k, k/2)
 		n := d.N()
 		b := append(append([]graph.NodeID(nil), m.AHead...), m.BHead...)
 		for _, alg := range []radio.Algorithm{core.Aloha{P: 0.5}, core.PermutedLocalUncoordinated{}} {
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(cfg.trials(), func(seed uint64) radio.Config {
 				return radio.Config{
 					Net: d, Algorithm: alg,
 					Spec: radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: b},
 					Link: adversary.Presample{C: 1, Horizon: m.BandLen},
 					Seed: seed, MaxRounds: 100 * n,
 				}
-			}, cfg.trials(), cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			res.Table.AddRow(alg.Name(), n, m.BandLen, out.MedianRounds,
-				out.MedianRounds/math.Sqrt(float64(n)), fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-			if alg.Name() == "aloha" {
-				ns = append(ns, float64(n))
-				ts = append(ts, out.MedianRounds)
-			}
+			}, func(out trialOutcome) {
+				res.Table.AddRow(alg.Name(), n, m.BandLen, out.MedianRounds,
+					out.MedianRounds/math.Sqrt(float64(n)), fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+				if alg.Name() == "aloha" {
+					ns = append(ns, float64(n))
+					ts = append(ts, out.MedianRounds)
+				}
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("aloha on bracelet", ns, ts)
 	fit := stats.GrowthExponent(ns, ts)
@@ -83,6 +85,7 @@ func runObliviousGeoLocal(cfg Config) (*Result, error) {
 		sides = []int{8, 12, 16}
 	}
 	var ns, ts []float64
+	sw := newSweep(cfg)
 	for _, side := range sides {
 		net := geoGridNet(side, 55)
 		n := net.N()
@@ -95,27 +98,29 @@ func runObliviousGeoLocal(cfg Config) (*Result, error) {
 			"random-loss": adversary.RandomLoss{P: 0.5},
 			"presample":   adversary.Presample{C: 1, Horizon: 2 * n},
 		}
-		for advName, link := range links {
+		for _, advName := range sortedKeys(links) {
+			link := links[advName]
 			alg := core.GeoLocal{}
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(cfg.trials(), func(seed uint64) radio.Config {
 				return radio.Config{
 					Net: net, Algorithm: alg,
 					Spec: radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: b},
 					Link: link, Seed: seed, MaxRounds: 400 * n,
 				}
-			}, cfg.trials(), cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			logN := float64(bitrand.LogN(n))
-			logD := float64(bitrand.LogN(delta))
-			res.Table.AddRow(alg.Name(), advName, n, delta, out.MedianRounds,
-				out.MedianRounds/(logN*logN*logD), fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-			if advName == "random-loss" {
-				ns = append(ns, float64(n))
-				ts = append(ts, out.MedianRounds)
-			}
+			}, func(out trialOutcome) {
+				logN := float64(bitrand.LogN(n))
+				logD := float64(bitrand.LogN(delta))
+				res.Table.AddRow(alg.Name(), advName, n, delta, out.MedianRounds,
+					out.MedianRounds/(logN*logN*logD), fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+				if advName == "random-loss" {
+					ns = append(ns, float64(n))
+					ts = append(ts, out.MedianRounds)
+				}
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("geo-local vs random loss", ns, ts)
 	fit := stats.GrowthExponent(ns, ts)

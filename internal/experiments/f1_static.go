@@ -49,44 +49,44 @@ func runStaticGlobal(cfg Config) (*Result, error) {
 
 	type point struct{ n, d, rounds float64 }
 	var linePoints []point
+	sw := newSweep(cfg)
 	for _, alg := range algs {
 		for _, n := range sizes {
 			net := lineNet(n)
 			d := n - 1
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(cfg.trials(), func(seed uint64) radio.Config {
 				return radio.Config{
 					Net: net, Algorithm: alg,
 					Spec: radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
 					Seed: seed, MaxRounds: 200 * n,
 				}
-			}, cfg.trials(), cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			ratio := stats.PolylogRatio(out.MedianRounds, d, n)
-			res.Table.AddRow("line", alg.Name(), n, d, out.MedianRounds, ratio, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-			if alg.Name() == "decay-global" {
-				linePoints = append(linePoints, point{float64(n), float64(d), out.MedianRounds})
-			}
+			}, func(out trialOutcome) {
+				ratio := stats.PolylogRatio(out.MedianRounds, d, n)
+				res.Table.AddRow("line", alg.Name(), n, d, out.MedianRounds, ratio, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+				if alg.Name() == "decay-global" {
+					linePoints = append(linePoints, point{float64(n), float64(d), out.MedianRounds})
+				}
+			})
 		}
 		// Constant-ish diameter geographic grids exercise the log²n term.
 		for _, side := range gridSides(cfg) {
 			net := geoGridNet(side, 77)
 			n := net.N()
 			d := graph.DiameterApprox(net.G())
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(cfg.trials(), func(seed uint64) radio.Config {
 				return radio.Config{
 					Net: net, Algorithm: alg,
 					Spec: radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
 					Seed: seed, MaxRounds: 200 * n,
 				}
-			}, cfg.trials(), cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			ratio := stats.PolylogRatio(out.MedianRounds, d, n)
-			res.Table.AddRow("geo-grid", alg.Name(), n, d, out.MedianRounds, ratio, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			}, func(out trialOutcome) {
+				ratio := stats.PolylogRatio(out.MedianRounds, d, n)
+				res.Table.AddRow("geo-grid", alg.Name(), n, d, out.MedianRounds, ratio, fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 
 	// Shape check on lines: T should scale ~linearly with D (exponent ≈1 vs
@@ -123,6 +123,7 @@ func runStaticLocal(cfg Config) (*Result, error) {
 		sides = []int{8, 16, 24}
 	}
 	var ns, ts []float64
+	sw := newSweep(cfg)
 	for _, side := range sides {
 		net := geoGridNet(side, 99)
 		n := net.N()
@@ -132,25 +133,26 @@ func runStaticLocal(cfg Config) (*Result, error) {
 			b = append(b, u)
 		}
 		for _, alg := range []radio.Algorithm{core.DecayLocal{}, core.RoundRobin{}} {
-			out, err := runTrials(func(seed uint64) radio.Config {
+			sw.point(cfg.trials(), func(seed uint64) radio.Config {
 				return radio.Config{
 					Net: net, Algorithm: alg,
 					Spec: radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: b},
 					Seed: seed, MaxRounds: 64 * n,
 				}
-			}, cfg.trials(), cfg.BaseSeed)
-			if err != nil {
-				return nil, err
-			}
-			logN := float64(bitrand.LogN(n))
-			logD := float64(bitrand.LogN(delta))
-			res.Table.AddRow(alg.Name(), n, delta, out.MedianRounds, out.MedianRounds/(logN*logD),
-				fmt.Sprintf("%d/%d", out.Solved, out.Trials))
-			if alg.Name() == "decay-local" {
-				ns = append(ns, float64(n))
-				ts = append(ts, out.MedianRounds)
-			}
+			}, func(out trialOutcome) {
+				logN := float64(bitrand.LogN(n))
+				logD := float64(bitrand.LogN(delta))
+				res.Table.AddRow(alg.Name(), n, delta, out.MedianRounds, out.MedianRounds/(logN*logD),
+					fmt.Sprintf("%d/%d", out.Solved, out.Trials))
+				if alg.Name() == "decay-local" {
+					ns = append(ns, float64(n))
+					ts = append(ts, out.MedianRounds)
+				}
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.addSeries("decay-local on geo grids", ns, ts)
 	fit := stats.GrowthExponent(ns, ts)

@@ -42,27 +42,39 @@ func runHittingBound(cfg Config) (*Result, error) {
 	if !cfg.Quick {
 		trials = 4000
 	}
-	rng := bitrand.New(1000 + cfg.BaseSeed)
+	// Each trial draws from its own split-derived stream so plays are
+	// independent of scheduling order.
+	root := bitrand.New(1000 + cfg.BaseSeed)
 	res.Pass = true
+	sw := newSweep(cfg)
 	for _, beta := range []int{16, 64} {
 		for _, k := range []int{beta / 8, beta / 4, beta / 2} {
-			wins := 0
-			for trial := 0; trial < trials; trial++ {
+			won := make([]bool, trials)
+			sw.tasks(trials, func(trial int) {
+				rng := root.Split(uint64(beta), uint64(k), uint64(trial))
 				target := rng.Intn(beta)
-				out := hitting.Play(beta, target, k, &hitting.UniformPlayer{Beta: beta}, rng)
-				if out.Won {
-					wins++
+				won[trial] = hitting.Play(beta, target, k, &hitting.UniformPlayer{Beta: beta}, rng).Won
+			}, func() error {
+				wins := 0
+				for _, w := range won {
+					if w {
+						wins++
+					}
 				}
-			}
-			rate := float64(wins) / float64(trials)
-			bound := float64(k) / float64(beta-1)
-			// Allow sampling noise: 4σ of a Bernoulli(bound) estimate.
-			ok := rate <= bound+4*0.5/float64(trials)+4*sqrtApprox(bound*(1-bound)/float64(trials))
-			if !ok {
-				res.Pass = false
-			}
-			res.Table.AddRow(beta, k, rate, bound, ok)
+				rate := float64(wins) / float64(trials)
+				bound := float64(k) / float64(beta-1)
+				// Allow sampling noise: 4σ of a Bernoulli(bound) estimate.
+				ok := rate <= bound+4*0.5/float64(trials)+4*sqrtApprox(bound*(1-bound)/float64(trials))
+				if !ok {
+					res.Pass = false
+				}
+				res.Table.AddRow(beta, k, rate, bound, ok)
+				return nil
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes, verdict(res.Pass))
 	return res, nil
@@ -93,6 +105,7 @@ func runReduction(cfg Config) (*Result, error) {
 	}
 	trials := cfg.trials()
 	res.Pass = true
+	sw := newSweep(cfg)
 	for _, beta := range betas {
 		for _, tc := range []struct {
 			alg     radio.Algorithm
@@ -105,9 +118,10 @@ func runReduction(cfg Config) (*Result, error) {
 			{core.RoundRobin{}, radio.LocalBroadcast, 8 * beta * bitrand.LogN(beta)},
 			{core.DecayGlobal{}, radio.GlobalBroadcast, 64 * beta * bitrand.LogN(beta)},
 		} {
-			won := 0
-			var guesses, simRounds []int
-			for trial := 0; trial < trials; trial++ {
+			// Each play is already independently seeded by its trial index,
+			// so plays fan out onto the pool directly.
+			outs := make([]hitting.Outcome, trials)
+			sw.tasks(trials, func(trial int) {
 				player := &hitting.SimulationPlayer{
 					Algorithm: tc.alg,
 					Beta:      beta,
@@ -115,20 +129,29 @@ func runReduction(cfg Config) (*Result, error) {
 					Seed:      cfg.BaseSeed + uint64(trial),
 				}
 				target := (trial * 7) % beta
-				out := hitting.Play(beta, target, 1<<22, player, bitrand.New(uint64(trial)))
-				if out.Won {
-					won++
-					guesses = append(guesses, out.Guesses)
-					simRounds = append(simRounds, out.SimRounds)
+				outs[trial] = hitting.Play(beta, target, 1<<22, player, bitrand.New(uint64(trial)))
+			}, func() error {
+				won := 0
+				var guesses, simRounds []int
+				for _, out := range outs {
+					if out.Won {
+						won++
+						guesses = append(guesses, out.Guesses)
+						simRounds = append(simRounds, out.SimRounds)
+					}
 				}
-			}
-			medG := stats.MedianInts(guesses)
-			medS := stats.MedianInts(simRounds)
-			res.Table.AddRow(tc.alg.Name(), beta, fmt.Sprintf("%d/%d", won, trials), medG, medS, tc.budget)
-			if won < trials || medG > float64(tc.budget) {
-				res.Pass = false
-			}
+				medG := stats.MedianInts(guesses)
+				medS := stats.MedianInts(simRounds)
+				res.Table.AddRow(tc.alg.Name(), beta, fmt.Sprintf("%d/%d", won, trials), medG, medS, tc.budget)
+				if won < trials || medG > float64(tc.budget) {
+					res.Pass = false
+				}
+				return nil
+			})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes, verdict(res.Pass))
 	return res, nil
@@ -145,21 +168,24 @@ func runLemma42(cfg Config) (*Result, error) {
 	if !cfg.Quick {
 		trials = 2000
 	}
-	src := bitrand.New(4242 + cfg.BaseSeed)
+	// Each trial draws from its own split-derived stream so trials are
+	// independent of scheduling order.
+	root := bitrand.New(4242 + cfg.BaseSeed)
 	n := 1024
 	res.Pass = true
-	for _, shape := range []struct {
+	sw := newSweep(cfg)
+	for si, shape := range []struct {
 		ig, igp  int
 		presence float64
 	}{
 		{1, 0, 0}, {8, 0, 0}, {1, 64, 0.5}, {4, 256, 0.5}, {2, 512, 0.9},
 	} {
-		success := 0
-		for trial := 0; trial < trials; trial++ {
+		got := make([]bool, trials)
+		sw.tasks(trials, func(trial int) {
+			src := root.Split(uint64(si), uint64(trial))
 			bits := bitrand.NewBitString(src, core.GlobalBitsLen(n, 1))
 			sched := core.NewPermSchedule(bits, n, 1)
-			got := false
-			for r := 0; r < sched.BlockLen() && !got; r++ {
+			for r := 0; r < sched.BlockLen() && !got[trial]; r++ {
 				p := sched.Prob(r)
 				tx := 0
 				for s := 0; s < shape.ig; s++ {
@@ -174,19 +200,27 @@ func runLemma42(cfg Config) (*Result, error) {
 					}
 				}
 				if tx == 1 {
-					got = true
+					got[trial] = true
 				}
 			}
-			if got {
-				success++
+		}, func() error {
+			success := 0
+			for _, g := range got {
+				if g {
+					success++
+				}
 			}
-		}
-		rate := float64(success) / float64(trials)
-		ok := rate > 0.5
-		if !ok {
-			res.Pass = false
-		}
-		res.Table.AddRow(shape.ig, shape.igp, shape.presence, rate, ok)
+			rate := float64(success) / float64(trials)
+			ok := rate > 0.5
+			if !ok {
+				res.Pass = false
+			}
+			res.Table.AddRow(shape.ig, shape.igp, shape.presence, rate, ok)
+			return nil
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes, verdict(res.Pass))
 	return res, nil

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+// workerPool is a bounded pool of goroutines executing opaque jobs. One pool
+// serves every (experiment × sweep-point × trial) triple submitted to it:
+// sweeps from different experiments interleave on the same workers instead of
+// each sweep point spawning (and draining) its own goroutines.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newWorkerPool starts a pool with the given number of workers (minimum 1).
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{jobs: make(chan func())}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands a job to the pool, blocking until a worker accepts it. Jobs
+// must never submit to their own pool (the workers would deadlock); only
+// sweep declarers do.
+func (p *workerPool) submit(job func()) { p.jobs <- job }
+
+// close drains the pool: no further submits are allowed, and close returns
+// once every accepted job has finished.
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// trialResult is one seeded execution's contribution to a sweep point.
+type trialResult struct {
+	rounds float64
+	solved bool
+	err    error
+}
+
+// sweep is a declared collection of work units. Experiments declare their
+// sweep points (a seeded radio.Config factory per point) together with an
+// aggregation closure per point, then call run once: every trial of every
+// point is flattened onto one worker pool, and after the pool drains the
+// aggregation closures fire in declaration order. Each trial's seed fully
+// determines its execution, so the output is byte-identical no matter how
+// many workers run or in which order trials complete.
+type sweep struct {
+	cfg  Config
+	jobs []func()
+	aggs []func() error
+}
+
+// newSweep starts an empty sweep under the given run configuration.
+func newSweep(cfg Config) *sweep { return &sweep{cfg: cfg} }
+
+// tasks declares n independent jobs plus one aggregation closure that runs
+// after every job of the sweep has finished, in declaration order. fn(i) must
+// write its result only to task-private captured state.
+func (s *sweep) tasks(n int, fn func(i int), agg func() error) {
+	for i := 0; i < n; i++ {
+		s.jobs = append(s.jobs, func() { fn(i) })
+	}
+	if agg != nil {
+		s.aggs = append(s.aggs, agg)
+	}
+}
+
+// point declares one sweep point: trials seeded executions of the factory,
+// aggregated by agg. Trial i runs with seed BaseSeed+i+1, exactly as the
+// sequential reference runner seeds them.
+func (s *sweep) point(trials int, mk func(seed uint64) radio.Config, agg func(trialOutcome)) {
+	if trials < 0 {
+		trials = 0
+	}
+	results := make([]trialResult, trials)
+	base := s.cfg.BaseSeed
+	s.tasks(trials, func(i int) {
+		res, err := radio.Run(mk(base + uint64(i) + 1))
+		results[i] = trialResult{rounds: float64(res.Rounds), solved: res.Solved, err: err}
+	}, func() error {
+		out, err := aggregateTrials(results)
+		if err != nil {
+			return err
+		}
+		agg(out)
+		return nil
+	})
+}
+
+// run executes every declared job on the configured pool — the shared
+// cross-experiment pool when one is set (RunAll), otherwise a pool created
+// for this sweep — then invokes the aggregation closures in declaration
+// order, stopping at the first error.
+func (s *sweep) run() error {
+	pool := s.cfg.pool
+	if pool == nil {
+		workers := s.cfg.workers()
+		if workers > len(s.jobs) {
+			workers = len(s.jobs)
+		}
+		pool = newWorkerPool(workers)
+		defer pool.close()
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.jobs))
+	for _, job := range s.jobs {
+		pool.submit(func() {
+			defer wg.Done()
+			job()
+		})
+	}
+	wg.Wait()
+	for _, agg := range s.aggs {
+		if err := agg(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrialError reports every failed trial of a sweep point, not just the first
+// one observed.
+type TrialError struct {
+	// Failed holds the indices of the failing trials, ascending.
+	Failed []int
+	// Errs holds the corresponding errors, aligned with Failed.
+	Errs []error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	idx := make([]string, len(e.Failed))
+	for i, f := range e.Failed {
+		idx[i] = fmt.Sprint(f)
+	}
+	return fmt.Sprintf("trials [%s] failed: %v", strings.Join(idx, " "), e.Errs[0])
+}
+
+// Unwrap exposes the first underlying error for errors.Is/As.
+func (e *TrialError) Unwrap() error { return e.Errs[0] }
+
+// aggregateTrials condenses a point's trial results. Every failing trial is
+// reported (as a *TrialError); unsolved trials are counted in Censored and
+// contribute their executed round budget to the round summary as
+// right-censored observations — the medians read "at least this many rounds"
+// whenever Censored > 0.
+func aggregateTrials(results []trialResult) (trialOutcome, error) {
+	out := trialOutcome{Trials: len(results)}
+	var te TrialError
+	for i, r := range results {
+		if r.err != nil {
+			te.Failed = append(te.Failed, i)
+			te.Errs = append(te.Errs, fmt.Errorf("trial %d: %w", i, r.err))
+		}
+	}
+	if len(te.Failed) > 0 {
+		return out, &te
+	}
+	if len(results) == 0 {
+		return out, nil
+	}
+	rounds := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.solved {
+			out.Solved++
+		}
+		rounds = append(rounds, r.rounds)
+	}
+	out.Censored = out.Trials - out.Solved
+	s := stats.Summarize(rounds)
+	out.MedianRounds = s.Median
+	out.MeanRounds = s.Mean
+	out.P90 = s.P90
+	return out, nil
+}
+
+// RunAll executes the given experiments through one shared worker pool sized
+// by cfg (Workers, defaulting to GOMAXPROCS): every trial of every sweep
+// point of every experiment lands in the same work queue, so the wall clock
+// scales with cores rather than with experiment count. Results and errors are
+// returned aligned with exps, and each experiment's output is identical to
+// running it alone — trials are independently seeded, and aggregation order
+// is fixed by declaration order.
+func RunAll(cfg Config, exps []Experiment) ([]*Result, []error) {
+	pool := newWorkerPool(cfg.workers())
+	defer pool.close()
+	cfg.pool = pool
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = e.Run(cfg)
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// iteration over named variants (adversaries, algorithms).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

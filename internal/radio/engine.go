@@ -70,7 +70,9 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return e.run()
+	res, err := e.run()
+	e.release()
+	return res, err
 }
 
 // ErrBadConfig wraps configuration validation failures.
@@ -84,7 +86,7 @@ type engine struct {
 	// probers[u] is non-nil when procs[u] implements TransmitProber.
 	probers []TransmitProber
 
-	master   *bitrand.Source
+	master   bitrand.Source
 	nodeRngs []*bitrand.Source
 
 	mon monitor
@@ -99,17 +101,20 @@ type engine struct {
 
 	txByNode []int64
 
-	// Per-round scratch (reused).
-	txFlag   []bool
-	counts   []int32
-	from     []graph.NodeID
-	touched  []graph.NodeID
-	tx       []graph.NodeID
-	msgOf    []*Message
-	probs    []float64
-	lastTx   []graph.NodeID
-	cliqueTx []int32
-	cliqueS  []graph.NodeID
+	// Per-round buffers, views into the pooled scratch (see scratch.go).
+	sc        *scratch
+	txFlag    []bool
+	counts    []int32
+	from      []graph.NodeID
+	touched   []graph.NodeID
+	tx        []graph.NodeID
+	msgOf     []*Message
+	probs     []float64
+	lastTx    []graph.NodeID
+	noise     []Message
+	cliqueTx  []int32
+	cliqueS   []graph.NodeID
+	recordBuf []Delivery
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -123,13 +128,18 @@ func newEngine(cfg Config) (*engine, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 64 * n * n
 	}
-	e := &engine{cfg: cfg, net: cfg.Net, n: n, master: bitrand.New(cfg.Seed)}
+	e := &engine{cfg: cfg, net: cfg.Net, n: n, sc: getScratch(n)}
+	e.master.Reseed(cfg.Seed)
+	fail := func(err error) (*engine, error) {
+		e.release()
+		return nil, err
+	}
 
 	algRng := e.master.Split(0x0a16)
 	e.procs = cfg.Algorithm.NewProcesses(cfg.Net, cfg.Spec, algRng)
 	if len(e.procs) != n {
-		return nil, fmt.Errorf("%w: algorithm %q produced %d processes for %d nodes",
-			ErrBadConfig, cfg.Algorithm.Name(), len(e.procs), n)
+		return fail(fmt.Errorf("%w: algorithm %q produced %d processes for %d nodes",
+			ErrBadConfig, cfg.Algorithm.Name(), len(e.procs), n))
 	}
 	e.probers = make([]TransmitProber, n)
 	for u, p := range e.procs {
@@ -137,20 +147,20 @@ func newEngine(cfg Config) (*engine, error) {
 			e.probers[u] = tp
 		}
 	}
-	e.nodeRngs = make([]*bitrand.Source, n)
+	e.nodeRngs = e.sc.nodeRngs
 	for u := range e.nodeRngs {
-		e.nodeRngs[u] = e.master.Split(0x20de, uint64(u))
+		e.nodeRngs[u].Reseed(e.master.SplitSeed(0x20de, uint64(u)))
 	}
 
 	var err error
 	switch cfg.Spec.Problem {
 	case GlobalBroadcast:
 		var gm *globalMonitor
-		gm, err = newGlobalMonitor(n, cfg.Spec.Source)
+		gm, err = newGlobalMonitor(n, cfg.Spec.Source, e.sc)
 		e.mon = gm
 	case LocalBroadcast:
 		var lm *localMonitor
-		lm, err = newLocalMonitor(cfg.Net, cfg.Spec.Broadcasters)
+		lm, err = newLocalMonitor(cfg.Net, cfg.Spec.Broadcasters, e.sc)
 		e.mon = lm
 	case Gossip:
 		var gm *gossipMonitor
@@ -160,7 +170,7 @@ func newEngine(cfg Config) (*engine, error) {
 		err = fmt.Errorf("unknown problem %v", cfg.Spec.Problem)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadConfig, err))
 	}
 
 	if cfg.Link != nil {
@@ -175,14 +185,14 @@ func newEngine(cfg Config) (*engine, error) {
 		case ObliviousLink:
 			e.committed = link.CommitSchedule(e.env)
 			if e.committed == nil {
-				return nil, fmt.Errorf("%w: oblivious link committed nil schedule", ErrBadConfig)
+				return fail(fmt.Errorf("%w: oblivious link committed nil schedule", ErrBadConfig))
 			}
 		case OnlineAdaptiveLink:
 			e.online = link
 		case OfflineAdaptiveLink:
 			e.offline = link
 		default:
-			return nil, fmt.Errorf("%w: link %T implements no adversary interface", ErrBadConfig, cfg.Link)
+			return fail(fmt.Errorf("%w: link %T implements no adversary interface", ErrBadConfig, cfg.Link))
 		}
 	}
 
@@ -190,19 +200,36 @@ func newEngine(cfg Config) (*engine, error) {
 		e.accel = graph.BuildCliqueCover(cfg.Net.G())
 	}
 
-	e.txFlag = make([]bool, n)
-	e.txByNode = make([]int64, n)
-	e.counts = make([]int32, n)
-	e.from = make([]graph.NodeID, n)
-	e.touched = make([]graph.NodeID, 0, n)
-	e.tx = make([]graph.NodeID, 0, n)
-	e.msgOf = make([]*Message, n)
-	e.probs = make([]float64, n)
+	e.txFlag = e.sc.txFlag
+	e.txByNode = e.sc.txByNode
+	e.counts = e.sc.counts
+	e.from = e.sc.from
+	e.touched = e.sc.touched[:0]
+	e.tx = e.sc.tx[:0]
+	e.msgOf = e.sc.msgOf
+	e.probs = e.sc.probs
+	e.lastTx = e.sc.lastTx[:0]
+	e.noise = e.sc.noise
+	e.recordBuf = e.sc.recordBuf[:0]
 	if e.accel != nil {
-		e.cliqueTx = make([]int32, e.accel.Count)
-		e.cliqueS = make([]graph.NodeID, e.accel.Count)
+		e.cliqueTx, e.cliqueS = e.sc.clique(e.accel.Count)
 	}
 	return e, nil
+}
+
+// release returns the engine's scratch to the pool. The engine (and the
+// monitors built over the scratch) must not be used afterwards.
+func (e *engine) release() {
+	if e.sc == nil {
+		return
+	}
+	// Hand the append-grown buffer back so its capacity is retained.
+	if e.recordBuf != nil {
+		e.sc.recordBuf = e.recordBuf
+	}
+	sc := e.sc
+	e.sc = nil
+	putScratch(sc)
 }
 
 func (e *engine) run() (Result, error) {
@@ -274,8 +301,9 @@ func (e *engine) step(r int, res *Result) {
 		if act.Transmit {
 			if act.Msg == nil {
 				// A transmission without a message is treated as noise: it
-				// occupies the channel but delivers nothing.
-				act.Msg = &Message{Origin: u}
+				// occupies the channel but delivers nothing. The cached
+				// per-node frame avoids an allocation per transmission.
+				act.Msg = &e.noise[u]
 			}
 			e.tx = append(e.tx, u)
 			e.msgOf[u] = act.Msg
@@ -296,9 +324,11 @@ func (e *engine) step(r int, res *Result) {
 	deliveries := e.deliver(selector, r, res)
 
 	if e.cfg.Recorder != nil {
+		// Transmitters and Deliveries are engine-owned scratch: recorders
+		// that retain them copy (see the RoundRecord contract).
 		rec := RoundRecord{
 			Round:        r,
-			Transmitters: append([]graph.NodeID(nil), e.tx...),
+			Transmitters: e.tx,
 			Deliveries:   deliveries,
 			SelectorKind: selectorKind(selector),
 			Selector:     selector,
@@ -312,7 +342,8 @@ func (e *engine) step(r int, res *Result) {
 
 // deliver computes receptions under the round topology G ∪ selector(E'\E)
 // and invokes Deliver on every process. It returns the delivery list only
-// when a recorder is attached (nil otherwise, to avoid allocation).
+// when a recorder is attached (nil otherwise); the list is backed by the
+// engine's reusable buffer and is valid only until the next round.
 func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Delivery {
 	for _, v := range e.tx {
 		e.txFlag[v] = true
@@ -321,6 +352,15 @@ func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Deli
 
 	var recorded []Delivery
 	record := e.cfg.Recorder != nil
+	if record {
+		recorded = e.recordBuf[:0]
+	}
+	defer func() {
+		if record {
+			// Keep the append-grown buffer for the next round.
+			e.recordBuf = recorded[:0]
+		}
+	}()
 
 	// Fast path: the round topology is the complete graph. Every listener
 	// neighbors every transmitter, so with ≥2 transmitters everyone

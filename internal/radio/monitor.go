@@ -25,11 +25,14 @@ type globalMonitor struct {
 	remaining  int
 }
 
-func newGlobalMonitor(n int, source graph.NodeID) (*globalMonitor, error) {
+// newGlobalMonitor builds the monitor over the scratch's pooled buffers; the
+// monitor is only valid until the owning engine releases its scratch.
+func newGlobalMonitor(n int, source graph.NodeID, sc *scratch) (*globalMonitor, error) {
 	if source < 0 || source >= n {
 		return nil, fmt.Errorf("radio: global broadcast source %d out of range [0,%d)", source, n)
 	}
-	m := &globalMonitor{source: source, informedAt: make([]int, n), remaining: n - 1}
+	m := &sc.globalMon
+	*m = globalMonitor{source: source, informedAt: sc.monInts, remaining: n - 1}
 	for i := range m.informedAt {
 		m.informedAt[i] = -1
 	}
@@ -58,9 +61,13 @@ type localMonitor struct {
 	remaining int
 }
 
-func newLocalMonitor(d *graph.Dual, broadcasters []graph.NodeID) (*localMonitor, error) {
+// newLocalMonitor builds the monitor over the scratch's pooled buffers (the
+// membership sets arrive cleared from grow); the monitor is only valid until
+// the owning engine releases its scratch.
+func newLocalMonitor(d *graph.Dual, broadcasters []graph.NodeID, sc *scratch) (*localMonitor, error) {
 	n := d.N()
-	m := &localMonitor{inB: make([]bool, n), doneAt: make([]int, n), inR: make([]bool, n)}
+	m := &sc.localMon
+	*m = localMonitor{inB: sc.monB, doneAt: sc.monInts, inR: sc.monR}
 	for i := range m.doneAt {
 		m.doneAt[i] = -1
 	}

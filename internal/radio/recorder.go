@@ -8,6 +8,11 @@ type Delivery struct {
 }
 
 // RoundRecord is the trace of one executed round.
+//
+// Transmitters and Deliveries are backed by engine-owned scratch that is
+// rewritten every round: they are valid only for the duration of the Record
+// call, and implementations that retain them (MemRecorder) must copy.
+// Streaming consumers (TxCountRecorder) read them allocation-free.
 type RoundRecord struct {
 	Round        int
 	Transmitters []graph.NodeID
@@ -31,8 +36,13 @@ type MemRecorder struct {
 	Rounds []RoundRecord
 }
 
-// Record implements Recorder.
-func (m *MemRecorder) Record(rec RoundRecord) { m.Rounds = append(m.Rounds, rec) }
+// Record implements Recorder, copying the engine-owned slices so the stored
+// records stay valid after the engine moves to the next round.
+func (m *MemRecorder) Record(rec RoundRecord) {
+	rec.Transmitters = append([]graph.NodeID(nil), rec.Transmitters...)
+	rec.Deliveries = append([]Delivery(nil), rec.Deliveries...)
+	m.Rounds = append(m.Rounds, rec)
+}
 
 // TransmissionsIn counts transmissions in rounds [from, to).
 func (m *MemRecorder) TransmissionsIn(from, to int) int {

@@ -1,0 +1,127 @@
+package radio
+
+import (
+	"sync"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// scratch holds every reusable per-execution buffer of the engine. The
+// experiment harness runs tens of thousands of short trials; allocating
+// these Θ(n) buffers (and one rng Source per node) for each trial dominated
+// the allocation profile, so completed executions return their scratch to a
+// pool and the next trial reuses it. grow re-clears everything an execution
+// reads before writing, so pooling never leaks state between trials.
+type scratch struct {
+	txFlag   []bool
+	counts   []int32
+	from     []graph.NodeID
+	touched  []graph.NodeID
+	tx       []graph.NodeID
+	msgOf    []*Message
+	probs    []float64
+	lastTx   []graph.NodeID
+	txByNode []int64
+	// noise[u] is the messageless transmission delivered when a process
+	// transmits with a nil Msg. Its content is a pure function of the index
+	// (Origin: u), so reusing the entries across trials is observationally
+	// identical to allocating fresh ones.
+	noise []Message
+
+	// clique-cover accelerator buffers, sized by the cover count on demand.
+	cliqueTx []int32
+	cliqueS  []graph.NodeID
+
+	// monitor backing stores: the round-stamp slice shared by the global and
+	// local monitors, and the local monitor's two membership sets.
+	monInts []int
+	monB    []bool
+	monR    []bool
+	// pooled monitor structs (the gossip monitor allocates per run: its
+	// buffers are keyed by rumor count, not n).
+	globalMon globalMonitor
+	localMon  localMonitor
+
+	// per-node rng storage: nodeRngs[u] points into rngBlock, reseeded per
+	// execution.
+	nodeRngs []*bitrand.Source
+	rngBlock []bitrand.Source
+
+	// recorder delivery buffer, reused each round; handed to Recorder.Record
+	// and valid only during the call.
+	recordBuf []Delivery
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch takes a scratch from the pool sized and cleared for n nodes.
+func getScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.grow(n)
+	return s
+}
+
+// putScratch returns a scratch for reuse.
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// grow sizes every buffer for n nodes and clears the state an execution
+// relies on: transmit flags and counts at zero, transmission tallies at
+// zero, no retained message pointers, and membership sets empty.
+func (s *scratch) grow(n int) {
+	if cap(s.txFlag) < n {
+		s.txFlag = make([]bool, n)
+		s.counts = make([]int32, n)
+		s.from = make([]graph.NodeID, n)
+		s.touched = make([]graph.NodeID, 0, n)
+		s.tx = make([]graph.NodeID, 0, n)
+		s.msgOf = make([]*Message, n)
+		s.probs = make([]float64, n)
+		s.lastTx = make([]graph.NodeID, 0, n)
+		s.txByNode = make([]int64, n)
+		s.noise = make([]Message, n)
+		s.monInts = make([]int, n)
+		s.monB = make([]bool, n)
+		s.monR = make([]bool, n)
+		s.rngBlock = make([]bitrand.Source, n)
+		s.nodeRngs = make([]*bitrand.Source, n)
+		for u := range s.noise {
+			s.noise[u] = Message{Origin: u}
+			s.nodeRngs[u] = &s.rngBlock[u]
+		}
+		return
+	}
+	s.txFlag = s.txFlag[:n]
+	clear(s.txFlag)
+	s.counts = s.counts[:n]
+	clear(s.counts)
+	s.from = s.from[:n]
+	s.touched = s.touched[:0]
+	s.tx = s.tx[:0]
+	// Clear message pointers over the full capacity, not just [:n]: a
+	// scratch last used for a larger network must not pin that trial's
+	// messages (and payloads) while it cycles through the pool.
+	clear(s.msgOf[:cap(s.msgOf)])
+	s.msgOf = s.msgOf[:n]
+	s.probs = s.probs[:n]
+	s.lastTx = s.lastTx[:0]
+	s.txByNode = s.txByNode[:n]
+	clear(s.txByNode)
+	s.noise = s.noise[:n]
+	s.monInts = s.monInts[:n]
+	s.monB = s.monB[:n]
+	clear(s.monB)
+	s.monR = s.monR[:n]
+	clear(s.monR)
+	s.rngBlock = s.rngBlock[:n]
+	s.nodeRngs = s.nodeRngs[:n]
+}
+
+// clique sizes the clique-cover accelerator buffers for count cliques.
+func (s *scratch) clique(count int) ([]int32, []graph.NodeID) {
+	if cap(s.cliqueTx) < count {
+		s.cliqueTx = make([]int32, count)
+		s.cliqueS = make([]graph.NodeID, count)
+	}
+	return s.cliqueTx[:count], s.cliqueS[:count]
+}

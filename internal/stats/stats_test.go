@@ -30,6 +30,48 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestSummarizeAllEqual(t *testing.T) {
+	s := Summarize([]float64{9, 9, 9, 9})
+	if !almostEq(s.Mean, 9) || s.Std != 0 || !almostEq(s.Median, 9) ||
+		!almostEq(s.P90, 9) || s.Min != 9 || s.Max != 9 {
+		t.Fatalf("all-equal summary %+v", s)
+	}
+}
+
+// TestSummarizeCensoredHeavy models an unsolved-heavy sweep point: most
+// trials hit their round budget (right-censored at 4000) and only a few
+// solve early. The summary must surface the budget, not the solved tail.
+func TestSummarizeCensoredHeavy(t *testing.T) {
+	xs := []float64{120, 4000, 4000, 4000, 4000, 4000, 4000}
+	s := Summarize(xs)
+	if !almostEq(s.Median, 4000) || !almostEq(s.P90, 4000) || s.Max != 4000 {
+		t.Fatalf("censored-heavy summary %+v", s)
+	}
+	if s.Min != 120 {
+		t.Fatalf("solved tail lost: %+v", s)
+	}
+	if s.Mean >= 4000 || s.Mean <= 120 {
+		t.Fatalf("mean must mix both populations: %+v", s)
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got := Quantile([]float64{42}, q); got != 42 {
+			t.Errorf("Quantile([42], %v) = %v", q, got)
+		}
+	}
+}
+
+func TestQuantileAllEqual(t *testing.T) {
+	sorted := []float64{5, 5, 5, 5, 5}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := Quantile(sorted, q); got != 5 {
+			t.Errorf("Quantile(all-equal, %v) = %v", q, got)
+		}
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)
