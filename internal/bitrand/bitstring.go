@@ -35,6 +35,34 @@ func NewBitString(src *Source, n int) *BitString {
 	return b
 }
 
+// Refill redraws the string in place: afterwards b is indistinguishable from
+// NewBitString(src, n), drawing exactly the same bits from src, but reuses
+// the word storage when it is large enough. It exists for the process arena:
+// a reset slab redraws its runtime-generated bit strings without
+// reallocating them. Callers must ensure no other live reader still depends
+// on the old contents (within one engine slab, every reader is reset
+// together).
+func (b *BitString) Refill(src *Source, n int) {
+	if n < 0 {
+		n = 0
+	}
+	words := (n + 63) / 64
+	if cap(b.bits) < words {
+		b.bits = make([]uint64, words)
+	}
+	b.bits = b.bits[:words]
+	b.n = n
+	b.pos = 0
+	for i := 0; i < words; i++ {
+		rem := n - 64*i
+		if rem >= 64 {
+			b.bits[i] = src.Bits(64)
+		} else {
+			b.bits[i] = src.Bits(uint(rem))
+		}
+	}
+}
+
 // BitStringFromWords constructs a BitString over pre-drawn words. It copies
 // the slice so callers cannot mutate the string afterwards.
 func BitStringFromWords(words []uint64, n int) *BitString {

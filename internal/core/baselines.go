@@ -14,7 +14,7 @@ import (
 // n·D rounds. Deterministic and slow — the O(n) row of Figure 1.
 type RoundRobin struct{}
 
-var _ radio.Algorithm = RoundRobin{}
+var _ radio.ProcessFactory = RoundRobin{}
 
 // Name implements radio.Algorithm.
 func (RoundRobin) Name() string { return "round-robin" }
@@ -23,34 +23,56 @@ func (RoundRobin) Name() string { return "round-robin" }
 func (RoundRobin) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
 	n := net.N()
 	procs := make([]radio.Process, n)
+	for u := 0; u < n; u++ {
+		procs[u] = &roundRobinProc{id: u, n: n}
+	}
+	assignRoundRobinMessages(procs, spec)
+	return procs
+}
+
+// ResetProcesses implements radio.ProcessFactory.
+func (RoundRobin) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	n := net.N()
+	for u := range procs {
+		p, ok := procs[u].(*roundRobinProc)
+		if !ok {
+			return false
+		}
+		p.id, p.n = u, n
+		p.msg = nil
+	}
+	assignRoundRobinMessages(procs, spec)
+	return true
+}
+
+// assignRoundRobinMessages hands initial messages to the source (global) or
+// the broadcasters (local), reusing each holder's own cached frame across
+// trials (relays overwrite msg, never own).
+func assignRoundRobinMessages(procs []radio.Process, spec radio.Spec) {
+	hold := func(u graph.NodeID) {
+		if u < 0 || u >= len(procs) {
+			return // out-of-range spec; the engine's monitor reports it
+		}
+		p := procs[u].(*roundRobinProc)
+		if p.own == nil || p.own.Origin != u {
+			p.own = &radio.Message{Origin: u}
+		}
+		p.msg = p.own
+	}
 	switch spec.Problem {
 	case radio.GlobalBroadcast:
-		for u := 0; u < n; u++ {
-			p := &roundRobinProc{id: u, n: n}
-			if u == spec.Source {
-				p.msg = &radio.Message{Origin: spec.Source}
-			}
-			procs[u] = p
-		}
+		hold(spec.Source)
 	default: // LocalBroadcast
-		inB := make([]bool, n)
 		for _, u := range spec.Broadcasters {
-			inB[u] = true
-		}
-		for u := 0; u < n; u++ {
-			p := &roundRobinProc{id: u, n: n}
-			if inB[u] {
-				p.msg = &radio.Message{Origin: u}
-			}
-			procs[u] = p
+			hold(u)
 		}
 	}
-	return procs
 }
 
 type roundRobinProc struct {
 	id, n int
 	msg   *radio.Message // nil until the node holds a message
+	own   *radio.Message // the node's own initial frame, nil for relays
 }
 
 func (p *roundRobinProc) myTurn(r int) bool { return r%p.n == p.id }
@@ -90,13 +112,12 @@ type Aloha struct {
 	P float64
 }
 
-var _ radio.Algorithm = Aloha{}
+var _ radio.ProcessFactory = Aloha{}
 
 // Name implements radio.Algorithm.
 func (Aloha) Name() string { return "aloha" }
 
-// NewProcesses implements radio.Algorithm.
-func (a Aloha) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+func (a Aloha) prob() float64 {
 	p := a.P
 	if p <= 0 {
 		p = 0.5
@@ -104,6 +125,30 @@ func (a Aloha) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Sourc
 	if p > 1 {
 		p = 1
 	}
+	return p
+}
+
+// ResetProcesses implements radio.ProcessFactory. Membership is encoded in
+// the process types and each broadcaster's frame is immutable, so only the
+// transmit probability (an Aloha parameter, re-derived from the receiver) is
+// refreshed.
+func (a Aloha) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	prob := a.prob()
+	for u := range procs {
+		switch p := procs[u].(type) {
+		case *alohaProc:
+			p.p = prob
+		case silentProc:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewProcesses implements radio.Algorithm.
+func (a Aloha) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	p := a.prob()
 	n := net.N()
 	inB := make([]bool, n)
 	for _, u := range spec.Broadcasters {

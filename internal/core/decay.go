@@ -33,7 +33,7 @@ import (
 // sampling-oblivious adversaries exploit; compare PermutedGlobal.
 type DecayGlobal struct{}
 
-var _ radio.Algorithm = DecayGlobal{}
+var _ radio.ProcessFactory = DecayGlobal{}
 
 // Name implements radio.Algorithm.
 func (DecayGlobal) Name() string { return "decay-global" }
@@ -45,16 +45,42 @@ func (DecayGlobal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.S
 	procs := make([]radio.Process, n)
 	for u := 0; u < n; u++ {
 		p := &decayGlobalProc{levels: k}
-		if u == spec.Source {
-			p.msg = &radio.Message{Origin: spec.Source}
-			p.informedAt = 0
-			p.isSource = true
-		} else {
-			p.informedAt = -1
-		}
+		resetDecayGlobalProc(p, u, spec.Source)
 		procs[u] = p
 	}
 	return procs
+}
+
+// ResetProcesses implements radio.ProcessFactory.
+func (DecayGlobal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	k := bitrand.LogN(net.N())
+	for u := range procs {
+		p, ok := procs[u].(*decayGlobalProc)
+		if !ok {
+			return false
+		}
+		p.levels = k
+		resetDecayGlobalProc(p, u, spec.Source)
+	}
+	return true
+}
+
+// resetDecayGlobalProc puts a process into its initial state for the given
+// source, reusing the node's own source message across trials when it has
+// one (the source never overwrites its message, so the cached frame is
+// exactly what NewProcesses would allocate).
+func resetDecayGlobalProc(p *decayGlobalProc, u, source graph.NodeID) {
+	if u == source {
+		if p.msg == nil || p.msg.Origin != u || p.msg.Payload != nil {
+			p.msg = &radio.Message{Origin: u}
+		}
+		p.informedAt = 0
+		p.isSource = true
+		return
+	}
+	p.msg = nil
+	p.informedAt = -1
+	p.isSource = false
 }
 
 type decayGlobalProc struct {
@@ -127,20 +153,25 @@ func (p *decayGlobalProc) Deliver(r int, msg *radio.Message) {
 // probability; O(log n) sweeps suffice w.h.p. (Θ(log n log Δ) rounds).
 type DecayLocal struct{}
 
-var _ radio.Algorithm = DecayLocal{}
+var _ radio.ProcessFactory = DecayLocal{}
 
 // Name implements radio.Algorithm.
 func (DecayLocal) Name() string { return "decay-local" }
 
-// NewProcesses implements radio.Algorithm.
-func (DecayLocal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
-	n := net.N()
-	// Probability levels go down to ~1/(2Δ): enough for the densest
-	// receiver neighborhood.
+// decayLocalLevels returns the probability level count: down to ~1/(2Δ),
+// enough for the densest receiver neighborhood.
+func decayLocalLevels(net *graph.Dual) int {
 	levels := bitrand.Log2Ceil(net.MaxDegree()) + 1
 	if levels < 1 {
 		levels = 1
 	}
+	return levels
+}
+
+// NewProcesses implements radio.Algorithm.
+func (DecayLocal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	n := net.N()
+	levels := decayLocalLevels(net)
 	inB := make([]bool, n)
 	for _, u := range spec.Broadcasters {
 		inB[u] = true
@@ -154,6 +185,25 @@ func (DecayLocal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.So
 		}
 	}
 	return procs
+}
+
+// ResetProcesses implements radio.ProcessFactory. Broadcaster membership is
+// encoded in the slab's process types and the engine only offers slabs built
+// for an identical spec, so the only state to refresh is the level count;
+// each broadcaster's message frame (Origin = itself, never overwritten) is
+// reused as is.
+func (DecayLocal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	levels := decayLocalLevels(net)
+	for u := range procs {
+		switch p := procs[u].(type) {
+		case *decayLocalProc:
+			p.levels = levels
+		case silentProc:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 type decayLocalProc struct {

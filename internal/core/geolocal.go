@@ -44,7 +44,7 @@ type GeoLocal struct {
 	DisableSeedSharing bool
 }
 
-var _ radio.Algorithm = GeoLocal{}
+var _ radio.ProcessFactory = GeoLocal{}
 
 // Name implements radio.Algorithm.
 func (a GeoLocal) Name() string {
@@ -140,6 +140,36 @@ func (a GeoLocal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.So
 	return procs
 }
 
+// ResetProcesses implements radio.ProcessFactory. All construction-time
+// randomness of this algorithm is drawn during the execution (seeds are
+// generated in Step/Deliver), so a reset only clears per-trial state and
+// re-derives the parameters from the receiver. Each node retains the seed
+// storage it drew itself last trial so the next trial's seeds refill in
+// place; shared (received) seeds are merely dropped, never retained, since
+// their storage belongs to the node that drew them.
+func (a GeoLocal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	par := a.params(net)
+	for u := range procs {
+		p, ok := procs[u].(*geoLocalProc)
+		if !ok {
+			return false
+		}
+		spare := p.ownSeed
+		if spare == nil {
+			spare = p.spareSeed
+		}
+		*p = geoLocalProc{
+			id:          u,
+			par:         par,
+			inB:         p.inB,
+			leaderPhase: -1,
+			noShare:     a.DisableSeedSharing,
+			spareSeed:   spare,
+		}
+	}
+	return true
+}
+
 type geoLocalProc struct {
 	id  graph.NodeID
 	par geoParams
@@ -151,6 +181,27 @@ type geoLocalProc struct {
 	seedMsg     *radio.Message     // the message this node floods as leader
 	leaderPhase int                // phase in which this node leads, or -1
 	bcastMsg    *radio.Message     // lazy; Origin = self, for broadcast stage
+
+	// Seed-storage reuse across arena resets: ownSeed is the bit string this
+	// node drew itself (leader seed, self-commit, or the ablation's private
+	// copy); spareSeed is retained storage from a previous trial that
+	// freshSeed refills instead of allocating.
+	ownSeed   *bitrand.BitString
+	spareSeed *bitrand.BitString
+}
+
+// freshSeed draws this node's own seed of par.seedBits bits from src,
+// refilling storage retained from a previous trial when available.
+func (p *geoLocalProc) freshSeed(src *bitrand.Source) *bitrand.BitString {
+	s := p.spareSeed
+	p.spareSeed = nil
+	if s != nil {
+		s.Refill(src, p.par.seedBits)
+	} else {
+		s = bitrand.NewBitString(src, p.par.seedBits)
+	}
+	p.ownSeed = s
+	return s
 }
 
 // stagePos decomposes round r.
@@ -242,7 +293,7 @@ func (p *geoLocalProc) Step(r int, rng *bitrand.Source) radio.Action {
 		// ends the initialization stage still active, it generates its own
 		// seed and commits to it").
 		if r == p.par.initRounds-1 && p.seed == nil {
-			p.seed = bitrand.NewBitString(rng, p.par.seedBits)
+			p.seed = p.freshSeed(rng)
 		}
 		return radio.Listen()
 	}
@@ -261,7 +312,7 @@ func (p *geoLocalProc) Step(r int, rng *bitrand.Source) radio.Action {
 
 func (p *geoLocalProc) becomeLeader(phase int, rng *bitrand.Source) {
 	p.leaderPhase = phase
-	p.seed = bitrand.NewBitString(rng, p.par.seedBits)
+	p.seed = p.freshSeed(rng)
 	p.seedMsg = &radio.Message{Origin: p.id, Payload: p.seed}
 }
 
@@ -284,7 +335,7 @@ func (p *geoLocalProc) Deliver(r int, msg *radio.Message) {
 		// message complexity stay identical. Deriving from the id keeps the
 		// run deterministic.
 		priv := bitrand.New(uint64(p.id)*0x9e3779b97f4a7c15 + 0x5eed)
-		p.seed = bitrand.NewBitString(priv, p.par.seedBits)
+		p.seed = p.freshSeed(priv)
 		return
 	}
 	p.seed = seed

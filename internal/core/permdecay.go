@@ -35,7 +35,9 @@ type PermSchedule struct {
 // networks of size n supporting numBlocks distinct calls: probability levels
 // 2^{-1}..2^{-log n}, γ = 16, block length 16·log n.
 func NewPermSchedule(bits *bitrand.BitString, n, numBlocks int) *PermSchedule {
-	return NewPermScheduleLevels(bits, bitrand.LogN(n), numBlocks, PermutedDecayGamma)
+	s := new(PermSchedule)
+	s.Reset(bits, n, numBlocks)
+	return s
 }
 
 // NewPermScheduleLevels builds a schedule with an explicit probability level
@@ -43,6 +45,22 @@ func NewPermSchedule(bits *bitrand.BitString, n, numBlocks int) *PermSchedule {
 // densest competing-broadcaster neighborhood — giving blocks of γ·log Δ
 // rounds.
 func NewPermScheduleLevels(bits *bitrand.BitString, levels, numBlocks, gamma int) *PermSchedule {
+	s := new(PermSchedule)
+	s.ResetLevels(bits, levels, numBlocks, gamma)
+	return s
+}
+
+// Reset reinitializes the schedule in place, exactly as NewPermSchedule
+// constructs it. Processes hold schedules by value and Reset them per
+// execution, so the engine's process arena re-runs trials without a
+// schedule allocation per informed node.
+func (s *PermSchedule) Reset(bits *bitrand.BitString, n, numBlocks int) {
+	s.ResetLevels(bits, bitrand.LogN(n), numBlocks, PermutedDecayGamma)
+}
+
+// ResetLevels is Reset with an explicit level count and γ, mirroring
+// NewPermScheduleLevels.
+func (s *PermSchedule) ResetLevels(bits *bitrand.BitString, levels, numBlocks, gamma int) {
 	if levels < 1 {
 		levels = 1
 	}
@@ -52,7 +70,7 @@ func NewPermScheduleLevels(bits *bitrand.BitString, levels, numBlocks, gamma int
 	if gamma < 1 {
 		gamma = 1
 	}
-	return &PermSchedule{
+	*s = PermSchedule{
 		bits:      bits,
 		levels:    levels,
 		bitsPer:   bitrand.BitsFor(levels),
@@ -118,7 +136,7 @@ func (s *PermSchedule) Prob(r int) float64 {
 // O(D log n + log² n) rounds).
 type PermutedGlobal struct{}
 
-var _ radio.Algorithm = PermutedGlobal{}
+var _ radio.ProcessFactory = PermutedGlobal{}
 
 // Name implements radio.Algorithm.
 func (PermutedGlobal) Name() string { return "permuted-global" }
@@ -133,7 +151,7 @@ func (PermutedGlobal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitran
 		p := &permGlobalProc{n: n, numBlocks: numBlocks, informedAt: -1}
 		if u == spec.Source {
 			p.informedAt = 0
-			p.sched = NewPermSchedule(bits, n, numBlocks)
+			p.sched.Reset(bits, n, numBlocks)
 			p.msg = &radio.Message{Origin: spec.Source, Payload: bits}
 			p.isSource = true
 		}
@@ -142,12 +160,48 @@ func (PermutedGlobal) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitran
 	return procs
 }
 
+// ResetProcesses implements radio.ProcessFactory. The source redraws its
+// permutation bits from rng — the same count, in the same order, that
+// NewProcesses draws — refilling the previous trial's bit-string storage in
+// place; every other process is cleared to uninformed.
+func (PermutedGlobal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	n := net.N()
+	numBlocks := 2 * bitrand.LogN(n)
+	for u := range procs {
+		p, ok := procs[u].(*permGlobalProc)
+		if !ok {
+			return false
+		}
+		if u == spec.Source {
+			// Reuse the node's own bit string and message frame when intact:
+			// the source never overwrites either during a trial.
+			var bits *bitrand.BitString
+			if p.isSource && p.msg != nil {
+				bits, _ = p.msg.Payload.(*bitrand.BitString)
+			}
+			L := GlobalBitsLen(n, numBlocks)
+			if bits != nil {
+				bits.Refill(rng, L)
+			} else {
+				bits = bitrand.NewBitString(rng, L)
+				p.msg = &radio.Message{Origin: u, Payload: bits}
+			}
+			msg := p.msg
+			*p = permGlobalProc{n: n, numBlocks: numBlocks, isSource: true, msg: msg}
+			p.sched.Reset(bits, n, numBlocks)
+		} else {
+			*p = permGlobalProc{n: n, numBlocks: numBlocks, informedAt: -1}
+		}
+	}
+	return true
+}
+
 type permGlobalProc struct {
 	n          int
 	numBlocks  int
 	isSource   bool
-	informedAt int
-	sched      *PermSchedule
+	informedAt int // -1 until informed; sched/msg are valid iff ≥ 0
+	sched      PermSchedule
 	msg        *radio.Message
 }
 
@@ -162,7 +216,7 @@ func (p *permGlobalProc) startRound() int {
 }
 
 func (p *permGlobalProc) activeProb(r int) float64 {
-	if p.informedAt < 0 || p.sched == nil {
+	if p.informedAt < 0 {
 		return 0
 	}
 	if p.isSource {
@@ -203,7 +257,7 @@ func (p *permGlobalProc) Deliver(r int, msg *radio.Message) {
 		return // foreign message; ignore
 	}
 	p.informedAt = r + 1
-	p.sched = NewPermSchedule(bits, p.n, p.numBlocks)
+	p.sched.Reset(bits, p.n, p.numBlocks)
 	p.msg = msg
 }
 
@@ -216,7 +270,7 @@ func (p *permGlobalProc) Deliver(r int, msg *radio.Message) {
 // seed-ablation baseline for the Section 4.3 algorithm.
 type PermutedLocalUncoordinated struct{}
 
-var _ radio.Algorithm = PermutedLocalUncoordinated{}
+var _ radio.ProcessFactory = PermutedLocalUncoordinated{}
 
 // Name implements radio.Algorithm.
 func (PermutedLocalUncoordinated) Name() string { return "permuted-local-uncoordinated" }
@@ -235,17 +289,41 @@ func (PermutedLocalUncoordinated) NewProcesses(net *graph.Dual, spec radio.Spec,
 			procs[u] = silentProc{}
 			continue
 		}
+		p := &permLocalProc{msg: &radio.Message{Origin: u}}
 		bits := bitrand.NewBitString(rng, GlobalBitsLen(n, numBlocks))
-		procs[u] = &permLocalProc{
-			sched: NewPermSchedule(bits, n, numBlocks),
-			msg:   &radio.Message{Origin: u},
-		}
+		p.sched.Reset(bits, n, numBlocks)
+		procs[u] = p
 	}
 	return procs
 }
 
+// ResetProcesses implements radio.ProcessFactory. Broadcasters redraw their
+// private permutation bits in ascending node order — the order NewProcesses
+// draws them — refilling each node's own bit-string storage in place.
+func (PermutedLocalUncoordinated) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	n := net.N()
+	numBlocks := 2 * bitrand.LogN(n)
+	L := GlobalBitsLen(n, numBlocks)
+	for u := range procs {
+		switch p := procs[u].(type) {
+		case *permLocalProc:
+			bits := p.sched.bits
+			if bits != nil {
+				bits.Refill(rng, L)
+			} else {
+				bits = bitrand.NewBitString(rng, L)
+			}
+			p.sched.Reset(bits, n, numBlocks)
+		case silentProc:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 type permLocalProc struct {
-	sched *PermSchedule
+	sched PermSchedule
 	msg   *radio.Message
 }
 

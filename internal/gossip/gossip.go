@@ -26,7 +26,7 @@ import (
 // against oblivious adversaries.
 type TDM struct{}
 
-var _ radio.Algorithm = TDM{}
+var _ radio.ProcessFactory = TDM{}
 
 // Name implements radio.Algorithm.
 func (TDM) Name() string { return "gossip-tdm" }
@@ -58,21 +58,83 @@ func (TDM) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) [
 		}
 		if i, ok := srcIndex[u]; ok {
 			bits := bitrand.NewBitString(rng, core.GlobalBitsLen(n, numBlocks))
-			p.states[i] = rumorState{
-				informedAt: 0,
-				sched:      core.NewPermSchedule(bits, n, numBlocks),
-				msg:        &radio.Message{Origin: u, Payload: rumor{bits: bits}},
-				isOrigin:   true,
-			}
+			st := &p.states[i]
+			st.informedAt = 0
+			st.sched.Reset(bits, n, numBlocks)
+			st.msg = &radio.Message{Origin: u, Payload: rumor{bits: bits}}
+			st.isOrigin = true
 		}
 		procs[u] = p
 	}
 	return procs
 }
 
+// ResetProcesses implements radio.ProcessFactory. Origins redraw their rumor
+// bits in ascending node order — the order NewProcesses draws them — each
+// refilling its own previous bit-string storage; every per-rumor state is
+// cleared to uninformed first.
+func (TDM) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	n := net.N()
+	k := len(spec.Sources)
+	numBlocks := 2 * bitrand.LogN(n)
+	for u := range procs {
+		p, ok := procs[u].(*tdmProc)
+		if !ok {
+			return false
+		}
+		if len(p.states) != k {
+			p.states = make([]rumorState, k)
+		}
+		si := -1
+		for i, s := range spec.Sources {
+			if s == u {
+				si = i
+				break
+			}
+		}
+		// Capture this origin's own bit string before clearing: the origin
+		// never overwrites its state, so the storage is reusable.
+		var bits *bitrand.BitString
+		if si >= 0 {
+			if old := &p.states[si]; old.isOrigin && old.msg != nil {
+				if pay, ok := old.msg.Payload.(rumor); ok {
+					bits = pay.bits
+				}
+			}
+		}
+		oldMsg := (*radio.Message)(nil)
+		if si >= 0 {
+			oldMsg = p.states[si].msg
+		}
+		for i := range p.states {
+			p.states[i] = rumorState{informedAt: -1}
+		}
+		p.n, p.k, p.numBlocks = n, k, numBlocks
+		if si >= 0 {
+			L := core.GlobalBitsLen(n, numBlocks)
+			if bits != nil {
+				bits.Refill(rng, L)
+			} else {
+				bits = bitrand.NewBitString(rng, L)
+				oldMsg = nil
+			}
+			st := &p.states[si]
+			st.informedAt = 0
+			st.sched.Reset(bits, n, numBlocks)
+			if oldMsg != nil && oldMsg.Origin == u {
+				st.msg = oldMsg
+			} else {
+				st.msg = &radio.Message{Origin: u, Payload: rumor{bits: bits}}
+			}
+			st.isOrigin = true
+		}
+	}
+	return true
+}
+
 type rumorState struct {
-	informedAt int
-	sched      *core.PermSchedule
+	informedAt int // -1 until informed; sched/msg valid iff ≥ 0
+	sched      core.PermSchedule
 	msg        *radio.Message
 	isOrigin   bool
 	originSent bool
@@ -103,7 +165,7 @@ func (p *tdmProc) startSub(st *rumorState) int {
 func (p *tdmProc) prob(r int) (float64, *rumorState) {
 	idx, sub := p.slot(r)
 	st := &p.states[idx]
-	if st.informedAt < 0 || st.sched == nil {
+	if st.informedAt < 0 {
 		return 0, st
 	}
 	if st.isOrigin {
@@ -156,6 +218,6 @@ func (p *tdmProc) Deliver(r int, msg *radio.Message) {
 		return
 	}
 	st.informedAt = r + 1
-	st.sched = core.NewPermSchedule(pay.bits, p.n, p.numBlocks)
+	st.sched.Reset(pay.bits, p.n, p.numBlocks)
 	st.msg = msg
 }

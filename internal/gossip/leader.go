@@ -23,7 +23,7 @@ type LeaderElect struct {
 	RankSeed uint64
 }
 
-var _ radio.Algorithm = LeaderElect{}
+var _ radio.ProcessFactory = LeaderElect{}
 
 // Name implements radio.Algorithm.
 func (LeaderElect) Name() string { return "leader-elect" }
@@ -52,14 +52,40 @@ func (a LeaderElect) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand
 	levels := bitrand.LogN(n)
 	procs := make([]radio.Process, n)
 	for u := 0; u < n; u++ {
+		rank := a.Rank(u)
+		own := &radio.Message{Origin: u, Payload: rank}
 		procs[u] = &leaderProc{
 			levels:   levels,
 			champ:    u,
-			champRnk: a.Rank(u),
-			msg:      &radio.Message{Origin: u, Payload: a.Rank(u)},
+			champRnk: rank,
+			msg:      own,
+			own:      own,
 		}
 	}
 	return procs
+}
+
+// ResetProcesses implements radio.ProcessFactory. Ranks are re-derived from
+// the receiver's RankSeed (two LeaderElect values share a Name, so the seed
+// may differ from the slab's); each node's own claim frame is reused when
+// its rank is unchanged.
+func (a LeaderElect) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
+	levels := bitrand.LogN(net.N())
+	for u := range procs {
+		p, ok := procs[u].(*leaderProc)
+		if !ok {
+			return false
+		}
+		rank := a.Rank(u)
+		if p.own == nil || p.own.Origin != u || p.own.Payload != any(rank) {
+			p.own = &radio.Message{Origin: u, Payload: rank}
+		}
+		p.levels = levels
+		p.champ = u
+		p.champRnk = rank
+		p.msg = p.own
+	}
+	return true
 }
 
 type leaderProc struct {
@@ -67,6 +93,7 @@ type leaderProc struct {
 	champ    graph.NodeID
 	champRnk uint64
 	msg      *radio.Message
+	own      *radio.Message // this node's initial claim, reused across trials
 }
 
 func (p *leaderProc) prob(r int) float64 {

@@ -1,0 +1,45 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// benchSink defeats dead-code elimination of the built graphs.
+var benchSink int
+
+// BenchmarkGraphBuild measures Builder→Build construction cost for the
+// topologies the experiment registry builds most often. Run with -benchmem:
+// the allocation count is the tracked number (BENCH_pr2.json).
+func BenchmarkGraphBuild(b *testing.B) {
+	b.Run("dual-clique/n=256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, _ := graph.DualClique(256, 3)
+			benchSink = d.NumExtraEdges()
+		}
+	})
+	b.Run("bracelet/n=512", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, _ := graph.Bracelet(512, 1)
+			benchSink = d.NumExtraEdges()
+		}
+	})
+	b.Run("geo-grid/16x16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := graph.GeographicGrid(bitrand.New(7), 16, 16, 0.7, 1.5)
+			benchSink = d.NumExtraEdges()
+		}
+	})
+	b.Run("erdos-renyi/n=512/p=0.02", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := graph.ErdosRenyi(bitrand.New(11), 512, 0.02)
+			benchSink = g.NumEdges()
+		}
+	})
+}

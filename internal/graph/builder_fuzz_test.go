@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuilder drives the sort+dedup Builder with arbitrary edge streams —
+// duplicates, self-loops, out-of-range endpoints, both orientations — and
+// checks the built CSR graph against the map-of-sets reference. Endpoint
+// bytes are offset by -4 so the fuzzer reaches negative ids without needing
+// wide integers.
+func FuzzBuilder(f *testing.F) {
+	// Seed corpus: the interesting shapes named in the Builder contract.
+	f.Add(4, []byte{})                                   // empty graph
+	f.Add(4, []byte{4, 5, 4, 5, 5, 4, 4, 5})             // duplicate edges, both orientations
+	f.Add(4, []byte{4, 4, 5, 5, 6, 6})                   // self-loops
+	f.Add(4, []byte{0, 5, 5, 0, 4, 200, 200, 201})       // negative and past-n endpoints
+	f.Add(6, []byte{4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 4}) // a cycle
+	f.Add(1, []byte{4, 4, 4, 5})                         // single node: everything drops
+	f.Add(0, []byte{4, 5})                               // empty vertex set
+	f.Add(64, []byte{4, 67, 67, 4, 4, 67, 30, 31, 31, 30, 30, 30})
+
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n < 0 || n > 128 {
+			return
+		}
+		b := NewBuilder(n)
+		ref := newRefGraph(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])-4, int(data[i+1])-4
+			b.AddEdge(u, v)
+			ref.addEdge(u, v)
+			// Builder.HasEdge must agree with the reference as edges stream
+			// in (modulo canonical ordering, which both sides apply).
+			if u >= 0 && v >= 0 && u < n && v < n && u != v {
+				if _, want := ref.adj[u][v]; b.HasEdge(u, v) != want {
+					t.Fatalf("Builder.HasEdge(%d,%d) = %v, want %v", u, v, b.HasEdge(u, v), want)
+				}
+			}
+		}
+		checkGraphAgainstRef(t, b.Build(), ref)
+	})
+}

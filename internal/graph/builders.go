@@ -30,6 +30,7 @@ func Ring(n int) *Graph {
 // Clique returns the complete graph on n nodes.
 func Clique(n int) *Graph {
 	b := NewBuilder(n)
+	b.Grow(n * (n - 1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			b.AddEdge(i, j)
@@ -50,6 +51,7 @@ func Star(n int) *Graph {
 // Grid returns the w×h grid graph; node (x, y) has id y*w+x.
 func Grid(w, h int) *Graph {
 	b := NewBuilder(w * h)
+	b.Grow(2 * w * h)
 	id := func(x, y int) int { return y*w + x }
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -91,6 +93,7 @@ func DualClique(n, t int) (*Dual, DualCliqueMarkers) {
 		t = 0
 	}
 	b := NewBuilder(n)
+	b.Grow(half*(half-1) + 1)
 	for i := 0; i < half; i++ {
 		for j := i + 1; j < half; j++ {
 			b.AddEdge(i, j)
@@ -158,6 +161,7 @@ func BraceletExplicit(bands, bandLen, t int) (*Dual, BraceletMarkers) {
 	bNode := func(band, off int) NodeID { return bands*bandLen + band*bandLen + off }
 
 	gb := NewBuilder(n)
+	gb.Grow(2*bands*(bandLen-1) + bands*(2*bands-1) + 1)
 	tails := make([]NodeID, 0, 2*bands)
 	for i := 0; i < bands; i++ {
 		m.AHead[i] = aNode(i, 0)
@@ -179,6 +183,7 @@ func BraceletExplicit(bands, bandLen, t int) (*Dual, BraceletMarkers) {
 	g := gb.Build()
 
 	gpb := NewBuilder(n)
+	gpb.Grow(g.NumEdges() + bands*bands)
 	g.ForEachEdge(gpb.AddEdge)
 	for i := 0; i < bands; i++ {
 		for j := 0; j < bands; j++ {

@@ -7,40 +7,77 @@
 // the paper's lower-bound topologies (dual clique, bracelet), geographic
 // graphs satisfying the unit-disk-style constraint of Section 2, the region
 // decomposition used by the Section 4.3 algorithm, and graph metrics.
+//
+// Graphs are stored in CSR (compressed sparse row) form: one flat backing
+// array of neighbor ids plus per-node offsets. Adjacency queries return
+// zero-copy views into that array, so the simulation engine's inner loops
+// walk contiguous memory with no per-node pointer chasing.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
 // NodeID identifies a node; nodes are always numbered 0..n-1.
 type NodeID = int
 
-// Graph is an immutable simple undirected graph with sorted adjacency lists.
-// Build one with a Builder.
+// Graph is an immutable simple undirected graph in CSR form: adj holds every
+// directed adjacency entry back to back, and offs[u]..offs[u+1] delimits u's
+// sorted neighbor list. Build one with a Builder.
 type Graph struct {
 	n     int
-	adj   [][]NodeID
 	edges int
+	offs  []int32 // len n+1; offs[u+1]-offs[u] = deg(u)
+	adj   []NodeID
+
+	// cover memoizes BuildCliqueCover(g) (see CliqueCoverOf); graphs are
+	// immutable, so the cover is computed at most once per graph and shared
+	// by every trial that runs on it.
+	cover coverCache
 }
 
-// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
-// ignored. The zero Builder is unusable; construct with NewBuilder.
+// Builder accumulates edges for a Graph as a flat list of packed (u, v) keys;
+// Build sorts and deduplicates the list, so adding duplicate edges is cheap
+// and allocation only grows the one backing slice. Self-loops and
+// out-of-range endpoints are ignored. The zero Builder is unusable; construct
+// with NewBuilder.
 type Builder struct {
-	n   int
-	set map[[2]NodeID]struct{}
+	n     int
+	edges []uint64 // packed u<<32|v with u < v; may contain duplicates
 }
+
+// maxBuilderNodes bounds n so edge keys pack into uint64; maxBuilderEdges
+// bounds the undirected edge count so the 2·edges directed CSR entries (and
+// every offset) fit in int32. Build enforces the edge bound explicitly —
+// the node bound alone does not imply it. Both are far above any simulated
+// network size.
+const (
+	maxBuilderNodes = 1 << 31
+	maxBuilderEdges = (1 << 30) - 1
+)
 
 // NewBuilder returns a builder for a graph on n nodes.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, set: make(map[[2]NodeID]struct{})}
+	if n < 0 || n >= maxBuilderNodes {
+		panic(fmt.Sprintf("graph: node count %d out of range [0,%d)", n, maxBuilderNodes))
+	}
+	return &Builder{n: n}
+}
+
+// Grow reserves capacity for at least extra additional edges, for
+// constructions that know their edge count in advance.
+func (b *Builder) Grow(extra int) {
+	if extra > 0 {
+		b.edges = slices.Grow(b.edges, extra)
+	}
 }
 
 // AddEdge records the undirected edge (u, v). Out-of-range endpoints and
 // self-loops are ignored so that randomized constructions can be written
-// without bound bookkeeping; Build validates the result instead.
+// without bound bookkeeping; duplicates are dropped by Build.
 func (b *Builder) AddEdge(u, v NodeID) {
 	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
 		return
@@ -48,35 +85,48 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	if u > v {
 		u, v = v, u
 	}
-	b.set[[2]NodeID{u, v}] = struct{}{}
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
 }
 
-// HasEdge reports whether the edge has been added.
+// HasEdge reports whether the edge has been added. It scans the accumulated
+// edge list (the builder keeps no index), so it is intended for assertions
+// and tests, not construction inner loops.
 func (b *Builder) HasEdge(u, v NodeID) bool {
 	if u > v {
 		u, v = v, u
 	}
-	_, ok := b.set[[2]NodeID{u, v}]
-	return ok
+	return slices.Contains(b.edges, uint64(u)<<32|uint64(v))
 }
 
-// Build finalizes the graph.
+// Build finalizes the graph: sort + dedup the edge list, then one counting
+// pass and one placement pass into the CSR arrays. A single walk over the
+// (u, v)-sorted edge list fills every neighbor list in ascending order: for
+// any node w, the edges contributing w's smaller neighbors (u, w) all sort
+// before the edges (w, v) contributing its larger ones.
 func (b *Builder) Build() *Graph {
-	g := &Graph{n: b.n, adj: make([][]NodeID, b.n), edges: len(b.set)}
-	deg := make([]int, b.n)
-	for e := range b.set {
-		deg[e[0]]++
-		deg[e[1]]++
+	slices.Sort(b.edges)
+	b.edges = slices.Compact(b.edges)
+	if len(b.edges) > maxBuilderEdges {
+		panic(fmt.Sprintf("graph: %d edges overflow the int32 CSR offsets (max %d)", len(b.edges), maxBuilderEdges))
 	}
-	for u := range g.adj {
-		g.adj[u] = make([]NodeID, 0, deg[u])
+	g := &Graph{n: b.n, edges: len(b.edges)}
+	g.offs = make([]int32, b.n+1)
+	for _, e := range b.edges {
+		g.offs[e>>32+1]++
+		g.offs[uint32(e)+1]++
 	}
-	for e := range b.set {
-		g.adj[e[0]] = append(g.adj[e[0]], e[1])
-		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	for u := 0; u < b.n; u++ {
+		g.offs[u+1] += g.offs[u]
 	}
-	for u := range g.adj {
-		sort.Ints(g.adj[u])
+	g.adj = make([]NodeID, 2*len(b.edges))
+	cur := make([]int32, b.n)
+	copy(cur, g.offs[:b.n])
+	for _, e := range b.edges {
+		u, v := NodeID(e>>32), NodeID(uint32(e))
+		g.adj[cur[u]] = v
+		cur[u]++
+		g.adj[cur[v]] = u
+		cur[v]++
 	}
 	return g
 }
@@ -88,29 +138,38 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) NumEdges() int { return g.edges }
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u NodeID) int { return int(g.offs[u+1] - g.offs[u]) }
 
 // MaxDegree returns the maximum degree Δ, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
 		}
 	}
 	return max
 }
 
-// Neighbors returns the sorted adjacency list of u. The slice is shared with
-// the graph; callers must not modify it.
-func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+// Neighbors returns the sorted adjacency list of u as a zero-copy view into
+// the graph's CSR backing array. The view stays valid for the lifetime of
+// the (immutable) graph and is shared by every caller; it must not be
+// modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[g.offs[u]:g.offs[u+1]] }
+
+// CSR exposes the flat adjacency arrays: offs has length N()+1 and
+// adj[offs[u]:offs[u+1]] is u's sorted neighbor list. Hot loops (the engine's
+// delivery pass) iterate these directly instead of calling Neighbors per
+// node. Both slices are the graph's own storage and must be treated as
+// read-only.
+func (g *Graph) CSR() (offs []int32, adj []NodeID) { return g.offs, g.adj }
 
 // HasEdge reports whether (u, v) is an edge.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
 	}
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.SearchInts(a, v)
 	return i < len(a) && a[i] == v
 }
@@ -118,7 +177,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // ForEachEdge calls fn once per undirected edge with u < v.
 func (g *Graph) ForEachEdge(fn func(u, v NodeID)) {
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if u < v {
 				fn(u, v)
 			}
@@ -132,13 +191,16 @@ type Point struct {
 }
 
 // Dual is a dual graph network (G, G') with E ⊆ E'. Extra adjacency (the
-// adversary-controlled edges E' \ E) is precomputed. If the network carries a
-// geographic embedding, Pos is non-nil and Radius holds the constant r ≥ 1 of
-// the Section 2 constraint.
+// adversary-controlled edges E' \ E) is precomputed in its own CSR arrays.
+// If the network carries a geographic embedding, Pos is non-nil and Radius
+// holds the constant r ≥ 1 of the Section 2 constraint.
 type Dual struct {
-	g     *Graph
-	gp    *Graph
-	extra [][]NodeID // adjacency restricted to E' \ E, sorted
+	g  *Graph
+	gp *Graph
+
+	// CSR adjacency restricted to E' \ E, sorted per node.
+	extraOffs []int32
+	extraAdj  []NodeID
 
 	unionComplete bool
 
@@ -150,29 +212,38 @@ type Dual struct {
 // ErrNotSubset is returned when the reliable graph is not a subgraph of G'.
 var ErrNotSubset = errors.New("graph: E(G) is not a subset of E(G')")
 
-// NewDual validates E ⊆ E' and builds the dual graph.
+// NewDual validates E ⊆ E' and builds the dual graph. Both the subset check
+// and the E' \ E adjacency fall out of one sorted-list difference walk per
+// node over the two CSR rows.
 func NewDual(g, gp *Graph) (*Dual, error) {
 	if g.N() != gp.N() {
 		return nil, fmt.Errorf("graph: vertex count mismatch: G has %d, G' has %d", g.N(), gp.N())
 	}
-	var subsetErr error
-	g.ForEachEdge(func(u, v NodeID) {
-		if !gp.HasEdge(u, v) {
-			subsetErr = fmt.Errorf("%w: edge (%d,%d)", ErrNotSubset, u, v)
-		}
-	})
-	if subsetErr != nil {
-		return nil, subsetErr
-	}
-	d := &Dual{g: g, gp: gp, extra: make([][]NodeID, g.N())}
-	for u := 0; u < g.N(); u++ {
-		for _, v := range gp.Neighbors(u) {
-			if !g.HasEdge(u, v) {
-				d.extra[u] = append(d.extra[u], v)
-			}
-		}
-	}
 	n := g.N()
+	d := &Dual{g: g, gp: gp}
+	d.extraOffs = make([]int32, n+1)
+	d.extraAdj = make([]NodeID, 0, max(0, 2*(gp.NumEdges()-g.NumEdges())))
+	for u := 0; u < n; u++ {
+		ga, gpa := g.Neighbors(u), gp.Neighbors(u)
+		i := 0
+		for _, v := range gpa {
+			if i < len(ga) {
+				if ga[i] < v {
+					// g neighbor absent from the (sorted) gp row.
+					return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubset, u, ga[i])
+				}
+				if ga[i] == v {
+					i++
+					continue
+				}
+			}
+			d.extraAdj = append(d.extraAdj, v)
+		}
+		if i < len(ga) {
+			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubset, u, ga[i])
+		}
+		d.extraOffs[u+1] = int32(len(d.extraAdj))
+	}
 	d.unionComplete = gp.NumEdges() == n*(n-1)/2
 	return d, nil
 }
@@ -190,7 +261,11 @@ func MustDual(g, gp *Graph) *Dual {
 // UniformDual wraps a single graph as the dual graph (G, G), which is exactly
 // the static protocol model.
 func UniformDual(g *Graph) *Dual {
-	return &Dual{g: g, gp: g, extra: make([][]NodeID, g.N()), unionComplete: g.NumEdges() == g.N()*(g.N()-1)/2}
+	return &Dual{
+		g: g, gp: g,
+		extraOffs:     make([]int32, g.N()+1),
+		unionComplete: g.NumEdges() == g.N()*(g.N()-1)/2,
+	}
 }
 
 // N returns the number of nodes.
@@ -202,9 +277,16 @@ func (d *Dual) G() *Graph { return d.g }
 // GPrime returns the unreliable superset graph G'.
 func (d *Dual) GPrime() *Graph { return d.gp }
 
-// ExtraNeighbors returns u's neighbors across E' \ E. Shared slice; do not
-// modify.
-func (d *Dual) ExtraNeighbors(u NodeID) []NodeID { return d.extra[u] }
+// ExtraNeighbors returns u's sorted neighbors across E' \ E as a zero-copy
+// view into the dual's CSR backing array. Like Graph.Neighbors, the view is
+// valid for the network's lifetime and must not be modified.
+func (d *Dual) ExtraNeighbors(u NodeID) []NodeID {
+	return d.extraAdj[d.extraOffs[u]:d.extraOffs[u+1]]
+}
+
+// ExtraCSR exposes the flat E' \ E adjacency arrays, in the same layout as
+// Graph.CSR. Read-only.
+func (d *Dual) ExtraCSR() (offs []int32, adj []NodeID) { return d.extraOffs, d.extraAdj }
 
 // NumExtraEdges returns |E' \ E|.
 func (d *Dual) NumExtraEdges() int { return d.gp.NumEdges() - d.g.NumEdges() }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -58,24 +59,19 @@ func NewRegions(d *Dual) (*Regions, error) {
 		r.Of[u] = id
 		r.Members[id] = append(r.Members[id], u)
 	}
-	// Neighbor regions via G' adjacency.
-	seen := make([]map[int]struct{}, len(r.Members))
-	for i := range seen {
-		seen[i] = map[int]struct{}{i: {}}
-	}
-	for u := 0; u < n; u++ {
-		ru := r.Of[u]
-		for _, v := range d.GPrime().Neighbors(u) {
-			seen[ru][r.Of[v]] = struct{}{}
-		}
-	}
+	// Neighbor regions via G' adjacency: per region, collect the region ids
+	// seen along its members' CSR rows, then sort + dedup the flat list.
 	r.NeighborRegions = make([][]int, len(r.Members))
-	for i, s := range seen {
-		lst := make([]int, 0, len(s))
-		for id := range s {
-			lst = append(lst, id)
+	gp := d.GPrime()
+	for i, members := range r.Members {
+		lst := []int{i}
+		for _, u := range members {
+			for _, v := range gp.Neighbors(u) {
+				lst = append(lst, r.Of[v])
+			}
 		}
 		sort.Ints(lst)
+		lst = slices.Compact(lst)
 		r.NeighborRegions[i] = lst
 		if len(lst)-1 > r.GammaR {
 			r.GammaR = len(lst) - 1

@@ -19,6 +19,7 @@ package hitting
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitrand"
 	"repro/internal/graph"
@@ -45,7 +46,9 @@ type Player interface {
 	NextGuess(rng *bitrand.Source) (guess int, ok bool)
 }
 
-// Play runs the game with a hidden target in [0, beta).
+// Play runs the game with a hidden target in [0, beta). A SimulationPlayer
+// is finished after Play: its pooled simulation state is released for reuse
+// by later players, so each player value must be played at most once.
 func Play(beta, target, maxGuesses int, p Player, rng *bitrand.Source) Outcome {
 	var out Outcome
 	for out.Guesses < maxGuesses {
@@ -61,6 +64,7 @@ func Play(beta, target, maxGuesses int, p Player, rng *bitrand.Source) Outcome {
 	}
 	if sp, ok := p.(*SimulationPlayer); ok {
 		out.SimRounds = sp.simRounds
+		sp.release()
 	}
 	return out
 }
@@ -130,12 +134,10 @@ type SimulationPlayer struct {
 	// Seed drives the simulated processes' coins.
 	Seed uint64
 
-	// Runtime state.
+	// Runtime state. sim is pooled across players (see simSlab).
 	initialized bool
 	initErr     error
-	procs       []radio.Process
-	probers     []radio.TransmitProber
-	rngs        []*bitrand.Source
+	sim         *simSlab
 	simRounds   int
 	queue       []int // pending guesses for the current simulated round
 	txA, txB    []int // realized transmitters (indices) of the current round
@@ -148,19 +150,56 @@ var _ Player = (*SimulationPlayer)(nil)
 // processes do not expose transmit probabilities.
 var ErrNotProbeable = errors.New("hitting: algorithm processes do not implement radio.TransmitProber")
 
-// bridgelessDualClique builds the player's simulated network: cliques A and
+// simSlab is the reusable simulation state of one player: the process slab
+// with its prober views, the per-node coin streams (reseeded in place each
+// play), and the per-round message buffers. Experiments play thousands of
+// short games with the same (algorithm, β, problem) shape, so finished
+// players return their slab to a pool and the next player resets it instead
+// of reallocating — the simulation-side mirror of the engine's process
+// arena.
+type simSlab struct {
+	algName string
+	beta    int
+	problem radio.Problem
+
+	procs    []radio.Process
+	probers  []radio.TransmitProber
+	rngs     []*bitrand.Source
+	rngBlock []bitrand.Source
+
+	// Per-round transmission state: msgOf[i] is i's transmitted message,
+	// txMask[i] whether i transmitted (a transmission may carry a nil
+	// message, so membership needs its own mask).
+	msgOf  []*radio.Message
+	txMask []bool
+}
+
+var simSlabPool sync.Pool
+
+// bridgelessNets caches the player's simulated networks by β: cliques A and
 // B with no connecting G edge (the player does not know where the bridge
-// is), G' complete.
+// is), G' complete. Networks are immutable, and every player for the same β
+// simulates the same topology.
+var bridgelessNets sync.Map // int → *graph.Dual
+
 func bridgelessDualClique(beta int) *graph.Dual {
+	if d, ok := bridgelessNets.Load(beta); ok {
+		return d.(*graph.Dual)
+	}
 	n := 2 * beta
 	b := graph.NewBuilder(n)
+	b.Grow(beta * (beta - 1))
 	for i := 0; i < beta; i++ {
 		for j := i + 1; j < beta; j++ {
 			b.AddEdge(i, j)
 			b.AddEdge(beta+i, beta+j)
 		}
 	}
-	return graph.MustDual(b.Build(), graph.Clique(n))
+	d := graph.MustDual(b.Build(), graph.Clique(n))
+	// Two goroutines may race to build; both produce equivalent immutable
+	// networks and the first store wins.
+	actual, _ := bridgelessNets.LoadOrStore(beta, d)
+	return actual.(*graph.Dual)
 }
 
 func (p *SimulationPlayer) init() error {
@@ -188,24 +227,70 @@ func (p *SimulationPlayer) init() error {
 		return p.initErr
 	}
 	master := bitrand.New(p.Seed)
-	p.procs = p.Algorithm.NewProcesses(net, spec, master.Split(0xa1))
-	p.probers = make([]radio.TransmitProber, len(p.procs))
-	for i, proc := range p.procs {
+	n := 2 * p.Beta
+
+	// Take a pooled slab; reuse its process slab when it was built for this
+	// exact configuration by a resettable algorithm.
+	sim, _ := simSlabPool.Get().(*simSlab)
+	if sim == nil {
+		sim = &simSlab{}
+	}
+	reused := false
+	if pf, ok := p.Algorithm.(radio.ProcessFactory); ok &&
+		sim.algName == p.Algorithm.Name() && sim.beta == p.Beta &&
+		sim.problem == p.Problem && len(sim.procs) == n {
+		reused = pf.ResetProcesses(sim.procs, net, spec, master.Split(0xa1))
+	}
+	if !reused {
+		sim.procs = p.Algorithm.NewProcesses(net, spec, master.Split(0xa1))
+		sim.algName = p.Algorithm.Name()
+		sim.beta = p.Beta
+		sim.problem = p.Problem
+	}
+	if cap(sim.probers) < len(sim.procs) {
+		sim.probers = make([]radio.TransmitProber, len(sim.procs))
+		sim.rngBlock = make([]bitrand.Source, len(sim.procs))
+		sim.rngs = make([]*bitrand.Source, len(sim.procs))
+		sim.msgOf = make([]*radio.Message, len(sim.procs))
+		sim.txMask = make([]bool, len(sim.procs))
+		for i := range sim.rngs {
+			sim.rngs[i] = &sim.rngBlock[i]
+		}
+	}
+	sim.probers = sim.probers[:len(sim.procs)]
+	sim.rngBlock = sim.rngBlock[:len(sim.procs)]
+	sim.rngs = sim.rngs[:len(sim.procs)]
+	sim.msgOf = sim.msgOf[:len(sim.procs)]
+	clear(sim.msgOf[:cap(sim.msgOf)])
+	sim.txMask = sim.txMask[:len(sim.procs)]
+	clear(sim.txMask)
+	for i, proc := range sim.procs {
 		tp, ok := proc.(radio.TransmitProber)
 		if !ok {
 			p.initErr = ErrNotProbeable
 			return p.initErr
 		}
-		p.probers[i] = tp
+		sim.probers[i] = tp
 	}
-	p.rngs = make([]*bitrand.Source, len(p.procs))
-	for i := range p.rngs {
-		p.rngs[i] = master.Split(0xb2, uint64(i))
+	for i := range sim.rngs {
+		sim.rngs[i].Reseed(master.SplitSeed(0xb2, uint64(i)))
 	}
+	p.sim = sim
 	if p.MaxSimRounds <= 0 {
 		p.MaxSimRounds = 4 * p.Beta * p.Beta
 	}
 	return nil
+}
+
+// release returns the player's simulation slab to the pool. Called by Play
+// when the game ends; the player must not be used afterwards.
+func (p *SimulationPlayer) release() {
+	if p.sim == nil {
+		return
+	}
+	sim := p.sim
+	p.sim = nil
+	simSlabPool.Put(sim)
 }
 
 func (p *SimulationPlayer) threshold() float64 {
@@ -239,23 +324,26 @@ func (p *SimulationPlayer) simulateRound() {
 	r := p.simRounds
 	p.simRounds++
 	beta := p.Beta
+	sim := p.sim
 
 	// E[|X| | S]: state-determined, computed before any coin is flipped.
 	expected := 0.0
-	for _, tp := range p.probers {
+	for _, tp := range sim.probers {
 		expected += tp.TransmitProb(r)
 	}
 	dense := expected > p.threshold()
 
-	// Flip the coins.
-	msgs := make(map[int]*radio.Message)
+	// Flip the coins, recording transmissions in the slab's flat buffers
+	// (cleared again below; a transmission may carry a nil message, so
+	// membership lives in txMask).
 	p.txA, p.txB = p.txA[:0], p.txB[:0]
-	for i, proc := range p.procs {
-		act := proc.Step(r, p.rngs[i])
+	for i, proc := range sim.procs {
+		act := proc.Step(r, sim.rngs[i])
 		if !act.Transmit {
 			continue
 		}
-		msgs[i] = act.Msg
+		sim.msgOf[i] = act.Msg
+		sim.txMask[i] = true
 		if i < beta {
 			p.txA = append(p.txA, i)
 		} else {
@@ -263,6 +351,16 @@ func (p *SimulationPlayer) simulateRound() {
 		}
 	}
 	total := len(p.txA) + len(p.txB)
+	clearTx := func() {
+		for _, i := range p.txA {
+			sim.msgOf[i] = nil
+			sim.txMask[i] = false
+		}
+		for _, i := range p.txB {
+			sim.msgOf[i] = nil
+			sim.txMask[i] = false
+		}
+	}
 
 	// Guess generation.
 	switch {
@@ -272,6 +370,7 @@ func (p *SimulationPlayer) simulateRound() {
 			p.queue = append(p.queue, t)
 		}
 		p.done = true // simulation validity ends here, but we have won
+		clearTx()
 		return
 	case dense:
 		// No guesses; dense round with ≥2 (or 0) transmitters.
@@ -291,20 +390,21 @@ func (p *SimulationPlayer) simulateRound() {
 	// transmits. Validity: if the bridge endpoints transmitted in a sparse
 	// round, we already guessed t above.
 	if dense {
-		for _, proc := range p.procs {
+		for _, proc := range sim.procs {
 			proc.Deliver(r, nil)
 		}
+		clearTx()
 		return
 	}
 	var deliverA, deliverB *radio.Message
 	if len(p.txA) == 1 {
-		deliverA = msgs[p.txA[0]]
+		deliverA = sim.msgOf[p.txA[0]]
 	}
 	if len(p.txB) == 1 {
-		deliverB = msgs[p.txB[0]]
+		deliverB = sim.msgOf[p.txB[0]]
 	}
-	for i, proc := range p.procs {
-		if _, transmitted := msgs[i]; transmitted {
+	for i, proc := range sim.procs {
+		if sim.txMask[i] {
 			proc.Deliver(r, nil)
 			continue
 		}
@@ -314,4 +414,5 @@ func (p *SimulationPlayer) simulateRound() {
 			proc.Deliver(r, deliverB)
 		}
 	}
+	clearTx()
 }

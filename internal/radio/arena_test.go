@@ -1,0 +1,121 @@
+package radio_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// plainAlg hides an algorithm's ProcessFactory implementation: only Name and
+// NewProcesses promote, so the engine's arena never engages and every trial
+// builds a fresh slab. Running the same seeds through both wrappers is the
+// arena's observational-equivalence oracle.
+type plainAlg struct{ radio.Algorithm }
+
+// TestProcessArenaMatchesFresh runs every ProcessFactory algorithm through
+// repeated same-config trials twice — once with the arena engaged, once
+// forced down the NewProcesses path — and requires identical Results,
+// including the per-node round stamps. Repeats of each seed make sure reset
+// slabs, not just fresh ones, are exercised.
+func TestProcessArenaMatchesFresh(t *testing.T) {
+	geo := graph.GeographicGrid(bitrand.New(5), 5, 5, 0.7, 1.5)
+	dc, _ := graph.DualClique(24, 3)
+	var broadcasters []graph.NodeID
+	for u := 0; u < geo.N(); u += 3 {
+		broadcasters = append(broadcasters, u)
+	}
+	le := gossip.LeaderElect{RankSeed: 7}
+
+	cases := []struct {
+		name string
+		alg  radio.Algorithm
+		net  *graph.Dual
+		spec radio.Spec
+	}{
+		{"decay-global", core.DecayGlobal{}, geo, radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}},
+		{"decay-global/dual-clique", core.DecayGlobal{}, dc, radio.Spec{Problem: radio.GlobalBroadcast, Source: 1}},
+		{"permuted-global", core.PermutedGlobal{}, geo, radio.Spec{Problem: radio.GlobalBroadcast, Source: 2}},
+		{"decay-local", core.DecayLocal{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
+		{"aloha", core.Aloha{P: 0.3}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
+		{"permuted-local-uncoordinated", core.PermutedLocalUncoordinated{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
+		{"round-robin", core.RoundRobin{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
+		{"geo-local", core.GeoLocal{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
+		{"gossip-tdm", gossip.TDM{}, geo, radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 7, 13}}},
+		{"leader-elect", le, geo, radio.Spec{Problem: radio.GlobalBroadcast, Source: le.Leader(geo.N())}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := tc.alg.(radio.ProcessFactory); !ok {
+				t.Fatalf("%s does not implement radio.ProcessFactory", tc.alg.Name())
+			}
+			run := func(alg radio.Algorithm, seed uint64) radio.Result {
+				res, err := radio.Run(radio.Config{
+					Net:       tc.net,
+					Algorithm: alg,
+					Spec:      tc.spec,
+					Seed:      seed,
+					MaxRounds: 400,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			// Two passes over the same seed sequence: the first pass fills
+			// the arena, the second hits it on every trial. The plain
+			// sequence rebuilds processes each time.
+			seeds := []uint64{11, 12, 13, 11, 12, 13}
+			for _, seed := range seeds {
+				arena := run(tc.alg, seed)
+				fresh := run(plainAlg{tc.alg}, seed)
+				if !reflect.DeepEqual(arena, fresh) {
+					t.Fatalf("seed %d: arena result diverged from fresh result\narena: %+v\nfresh: %+v", seed, arena, fresh)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaKeyedByConfig interleaves two different configurations of the
+// same algorithm on one goroutine (so trials contend for the same pooled
+// scratch) and checks each still matches its solo sequence: a slab built for
+// one config must never leak state into the other.
+func TestArenaKeyedByConfig(t *testing.T) {
+	netA := graph.UniformDual(graph.Line(20))
+	netB, _ := graph.DualClique(20, 2)
+	mk := func(net *graph.Dual, source graph.NodeID, seed uint64) radio.Config {
+		return radio.Config{
+			Net:       net,
+			Algorithm: core.DecayGlobal{},
+			Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: source},
+			Seed:      seed,
+			MaxRounds: 400,
+		}
+	}
+	solo := func(cfgs ...radio.Config) []radio.Result {
+		out := make([]radio.Result, len(cfgs))
+		for i, cfg := range cfgs {
+			res, err := radio.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+	wantA := solo(mk(netA, 0, 1), mk(netA, 0, 2), mk(netA, 0, 3))
+	wantB := solo(mk(netB, 5, 1), mk(netB, 5, 2), mk(netB, 5, 3))
+	var gotA, gotB []radio.Result
+	for i := 0; i < 3; i++ {
+		gotA = append(gotA, solo(mk(netA, 0, uint64(i+1)))...)
+		gotB = append(gotB, solo(mk(netB, 5, uint64(i+1)))...)
+	}
+	if !reflect.DeepEqual(gotA, wantA) || !reflect.DeepEqual(gotB, wantB) {
+		t.Fatal("interleaved configurations diverged from solo sequences")
+	}
+}

@@ -99,6 +99,12 @@ type engine struct {
 
 	accel *graph.CliqueCover
 
+	// Flat CSR adjacency of the network, hoisted out of the Dual so the
+	// delivery loop walks the backing arrays directly: gAdj[gOffs[v]:
+	// gOffs[v+1]] is v's reliable neighbor row, exOffs/exAdj the E'\E rows.
+	gOffs, exOffs []int32
+	gAdj, exAdj   []graph.NodeID
+
 	txByNode []int64
 
 	// Per-round buffers, views into the pooled scratch (see scratch.go).
@@ -129,22 +135,46 @@ func newEngine(cfg Config) (*engine, error) {
 		cfg.MaxRounds = 64 * n * n
 	}
 	e := &engine{cfg: cfg, net: cfg.Net, n: n, sc: getScratch(n)}
+	e.gOffs, e.gAdj = cfg.Net.G().CSR()
+	e.exOffs, e.exAdj = cfg.Net.ExtraCSR()
 	e.master.Reseed(cfg.Seed)
 	fail := func(err error) (*engine, error) {
 		e.release()
 		return nil, err
 	}
 
-	algRng := e.master.Split(0x0a16)
-	e.procs = cfg.Algorithm.NewProcesses(cfg.Net, cfg.Spec, algRng)
-	if len(e.procs) != n {
-		return fail(fmt.Errorf("%w: algorithm %q produced %d processes for %d nodes",
-			ErrBadConfig, cfg.Algorithm.Name(), len(e.procs), n))
+	// Process arena: when the algorithm is a ProcessFactory and this scratch
+	// last ran an identical configuration, reset the pooled slab in place.
+	// Both paths draw from an identically derived construction stream
+	// (SplitSeed does not advance the master), so arena hits and misses are
+	// observationally identical.
+	e.sc.algRng.Reseed(e.master.SplitSeed(0x0a16))
+	if pf, ok := cfg.Algorithm.(ProcessFactory); ok {
+		if slab := e.sc.arenaMatch(cfg, n); slab != nil {
+			if pf.ResetProcesses(slab, cfg.Net, cfg.Spec, &e.sc.algRng) {
+				e.procs = slab
+			} else {
+				e.sc.arenaDrop()
+				e.sc.algRng.Reseed(e.master.SplitSeed(0x0a16))
+			}
+		}
 	}
-	e.probers = make([]TransmitProber, n)
+	if e.procs == nil {
+		e.procs = cfg.Algorithm.NewProcesses(cfg.Net, cfg.Spec, &e.sc.algRng)
+		if len(e.procs) != n {
+			return fail(fmt.Errorf("%w: algorithm %q produced %d processes for %d nodes",
+				ErrBadConfig, cfg.Algorithm.Name(), len(e.procs), n))
+		}
+		if _, ok := cfg.Algorithm.(ProcessFactory); ok {
+			e.sc.arenaStore(cfg, e.procs)
+		}
+	}
+	e.probers = e.sc.probers
 	for u, p := range e.procs {
 		if tp, ok := p.(TransmitProber); ok {
 			e.probers[u] = tp
+		} else {
+			e.probers[u] = nil
 		}
 	}
 	e.nodeRngs = e.sc.nodeRngs
@@ -164,7 +194,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.mon = lm
 	case Gossip:
 		var gm *gossipMonitor
-		gm, err = newGossipMonitor(n, cfg.Spec.Sources)
+		gm, err = newGossipMonitor(n, cfg.Spec.Sources, e.sc)
 		e.mon = gm
 	default:
 		err = fmt.Errorf("unknown problem %v", cfg.Spec.Problem)
@@ -197,7 +227,9 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 
 	if cfg.UseCliqueCover {
-		e.accel = graph.BuildCliqueCover(cfg.Net.G())
+		// Memoized per graph: repeated trials on the same network share one
+		// cover instead of rebuilding it per execution.
+		e.accel = graph.CliqueCoverOf(cfg.Net.G())
 	}
 
 	e.txFlag = e.sc.txFlag
@@ -260,9 +292,14 @@ func (e *engine) fill(res *Result) {
 	case *localMonitor:
 		res.ReceiverDoneAt = append([]int(nil), m.doneAt...)
 	case *gossipMonitor:
-		res.RumorAt = make([][]int, len(m.haveAt))
+		// Copy the pooled n×k matrix out as rows over one flat backing
+		// array: two allocations instead of one per node.
+		n, k := len(m.haveAt), m.k
+		flat := make([]int, 0, n*k)
+		res.RumorAt = make([][]int, n)
 		for u, row := range m.haveAt {
-			res.RumorAt[u] = append([]int(nil), row...)
+			flat = append(flat, row...)
+			res.RumorAt[u] = flat[u*k : (u+1)*k : (u+1)*k]
 		}
 	}
 }
@@ -441,7 +478,7 @@ func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Deli
 		}
 	} else {
 		for _, v := range e.tx {
-			for _, u := range e.net.G().Neighbors(v) {
+			for _, u := range e.gAdj[e.gOffs[v]:e.gOffs[v+1]] {
 				add(u, v)
 			}
 		}
@@ -451,13 +488,13 @@ func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Deli
 	if !selector.None() {
 		if selector.All() {
 			for _, v := range e.tx {
-				for _, u := range e.net.ExtraNeighbors(v) {
+				for _, u := range e.exAdj[e.exOffs[v]:e.exOffs[v+1]] {
 					add(u, v)
 				}
 			}
 		} else {
 			for _, v := range e.tx {
-				for _, u := range e.net.ExtraNeighbors(v) {
+				for _, u := range e.exAdj[e.exOffs[v]:e.exOffs[v+1]] {
 					if selector.Includes(v, u) {
 						add(u, v)
 					}

@@ -1,0 +1,79 @@
+package radio_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// allLink is an oblivious link that includes every unreliable edge each
+// round, forcing the delivery loop over the extra-neighbor arrays.
+type allLink struct{}
+
+func (allLink) CommitSchedule(*radio.Env) radio.Schedule {
+	return radio.StaticSchedule{Selector: graph.SelectAll{}}
+}
+
+// BenchmarkEngineRoundDelivery measures one full trial — engine setup
+// (NewProcesses and per-node rng streams) plus a fixed 256-round delivery
+// loop — on the paper's two lower-bound topologies. IgnoreCompletion pins the
+// round count so ns/op and allocs/op compare across engine changes; the
+// per-iteration seed varies so transmit patterns are realistic, not cached.
+// Run with -benchmem: allocs/op is the tracked number (BENCH_pr2.json).
+func BenchmarkEngineRoundDelivery(b *testing.B) {
+	run := func(b *testing.B, net *graph.Dual, spec radio.Spec, link any, cover bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// IgnoreCompletion makes every iteration execute exactly
+			// MaxRounds rounds (Result.Rounds still reports the solving
+			// round), so the measured work is identical across iterations.
+			_, err := radio.Run(radio.Config{
+				Net:              net,
+				Algorithm:        core.DecayGlobal{},
+				Spec:             spec,
+				Link:             link,
+				Seed:             uint64(i),
+				MaxRounds:        256,
+				UseCliqueCover:   cover,
+				IgnoreCompletion: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	globalSpec := radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}
+
+	dc, _ := graph.DualClique(128, 3)
+	b.Run("dual-clique/n=128", func(b *testing.B) { run(b, dc, globalSpec, nil, false) })
+	b.Run("dual-clique/n=128/cover", func(b *testing.B) { run(b, dc, globalSpec, nil, true) })
+
+	br, _ := graph.Bracelet(512, 1)
+	b.Run("bracelet/n=512", func(b *testing.B) { run(b, br, globalSpec, nil, false) })
+	b.Run("bracelet/n=512/all-link", func(b *testing.B) { run(b, br, globalSpec, allLink{}, false) })
+}
+
+// BenchmarkGossipTrial measures a full TDM gossip trial on a grid: the
+// k-rumor monitor's Θ(n·k) matrices and the per-rumor process state dominate
+// the setup allocations.
+func BenchmarkGossipTrial(b *testing.B) {
+	b.ReportAllocs()
+	net := graph.UniformDual(graph.Grid(12, 12))
+	spec := radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 37, 91, 140}}
+	for i := 0; i < b.N; i++ {
+		_, err := radio.Run(radio.Config{
+			Net:       net,
+			Algorithm: gossip.TDM{},
+			Spec:      spec,
+			Seed:      uint64(i),
+			MaxRounds: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,9 +80,17 @@ func newLocalMonitor(d *graph.Dual, broadcasters []graph.NodeID, sc *scratch) (*
 		}
 		m.inB[u] = true
 	}
-	for _, u := range graph.GNeighborsOf(d.G(), broadcasters) {
-		m.inR[u] = true
-		m.remaining++
+	// R = nodes with a G-neighbor in B, computed over the CSR rows into the
+	// pooled membership set (graph.GNeighborsOf semantics, allocation-free).
+	gOffs, gAdj := d.G().CSR()
+	for u := 0; u < n; u++ {
+		for _, v := range gAdj[gOffs[u]:gOffs[u+1]] {
+			if m.inB[v] {
+				m.inR[u] = true
+				m.remaining++
+				break
+			}
+		}
 	}
 	return m, nil
 }
@@ -111,31 +119,42 @@ func (m *localMonitor) progress() int {
 // A node holds rumor i after receiving any message originating at source i;
 // each source starts holding its own rumor.
 type gossipMonitor struct {
-	srcIndex  map[graph.NodeID]int
+	k         int
+	srcOf     []int   // node → rumor index, -1 for non-sources
 	haveAt    [][]int // haveAt[u][i]: round node u first held rumor i, -1 if not
 	remaining int
 }
 
-func newGossipMonitor(n int, sources []graph.NodeID) (*gossipMonitor, error) {
+// newGossipMonitor builds the monitor over the scratch's pooled buffers: the
+// Θ(n·k) round-stamp matrix is rows over one flat backing array resized in
+// place on reuse, and the source index is the scratch's round-stamp slice
+// repurposed as a node → rumor lookup (the gossip monitor is the only
+// monitor of its engine, so the slice is free). Valid only until the owning
+// engine releases its scratch.
+func newGossipMonitor(n int, sources []graph.NodeID, sc *scratch) (*gossipMonitor, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("radio: gossip requires at least one source")
 	}
-	m := &gossipMonitor{srcIndex: make(map[graph.NodeID]int, len(sources))}
+	m := &sc.gossipMon
+	*m = gossipMonitor{k: len(sources), srcOf: sc.monInts}
+	for i := range m.srcOf {
+		m.srcOf[i] = -1
+	}
 	for i, s := range sources {
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("radio: gossip source %d out of range [0,%d)", s, n)
 		}
-		if _, dup := m.srcIndex[s]; dup {
+		if m.srcOf[s] != -1 {
 			return nil, fmt.Errorf("radio: duplicate gossip source %d", s)
 		}
-		m.srcIndex[s] = i
+		m.srcOf[s] = i
 	}
-	k := len(sources)
-	m.haveAt = make([][]int, n)
+	k := m.k
+	m.haveAt = sc.rumor(n, k)
 	for u := range m.haveAt {
-		m.haveAt[u] = make([]int, k)
-		for i := range m.haveAt[u] {
-			m.haveAt[u][i] = -1
+		row := m.haveAt[u]
+		for i := range row {
+			row[i] = -1
 		}
 	}
 	for i, s := range sources {
@@ -146,8 +165,11 @@ func newGossipMonitor(n int, sources []graph.NodeID) (*gossipMonitor, error) {
 }
 
 func (m *gossipMonitor) observe(round int, to graph.NodeID, msg *Message) {
-	i, ok := m.srcIndex[msg.Origin]
-	if !ok || m.haveAt[to][i] != -1 {
+	if msg.Origin < 0 || msg.Origin >= len(m.srcOf) {
+		return // foreign origin, as the old map lookup treated it
+	}
+	i := m.srcOf[msg.Origin]
+	if i < 0 || m.haveAt[to][i] != -1 {
 		return
 	}
 	m.haveAt[to][i] = round
@@ -157,6 +179,6 @@ func (m *gossipMonitor) observe(round int, to graph.NodeID, msg *Message) {
 func (m *gossipMonitor) done() bool { return m.remaining == 0 }
 
 func (m *gossipMonitor) progress() int {
-	total := len(m.haveAt) * len(m.srcIndex)
-	return total - len(m.srcIndex) - m.remaining
+	total := len(m.haveAt) * m.k
+	return total - m.k - m.remaining
 }

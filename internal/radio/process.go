@@ -121,3 +121,25 @@ type Algorithm interface {
 	// Section 4.1 source bits) from rng.
 	NewProcesses(net *graph.Dual, spec Spec, rng *bitrand.Source) []Process
 }
+
+// ProcessFactory is an optional extension of Algorithm for the engine's
+// process arena: the experiment harness runs tens of thousands of short
+// trials of the same (algorithm, network, spec) configuration, and a factory
+// lets the engine reinitialize the previous trial's process slab in place
+// instead of allocating a fresh one per trial.
+//
+// The engine only offers a slab back to the factory whose Name produced it,
+// on the same network pointer and an element-wise-equal spec. ResetProcesses
+// must then leave every process in exactly the state NewProcesses would
+// produce for (net, spec, rng) — all parameter-derived state recomputed from
+// the receiver, all cross-trial state cleared, construction randomness drawn
+// from rng in the same order — so that pooling is observationally invisible
+// (the determinism tests enforce this). It reports false if the slab cannot
+// be reused (e.g. a process has an unexpected type because two algorithms
+// share a Name); the engine then discards the slab and falls back to
+// NewProcesses with an identically derived rng, so a failed reset may leave
+// the slab half-mutated and may even have consumed rng bits.
+type ProcessFactory interface {
+	Algorithm
+	ResetProcesses(procs []Process, net *graph.Dual, spec Spec, rng *bitrand.Source) bool
+}

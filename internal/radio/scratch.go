@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"slices"
 	"sync"
 
 	"repro/internal/bitrand"
@@ -34,19 +35,43 @@ type scratch struct {
 	cliqueS  []graph.NodeID
 
 	// monitor backing stores: the round-stamp slice shared by the global and
-	// local monitors, and the local monitor's two membership sets.
-	monInts []int
-	monB    []bool
-	monR    []bool
-	// pooled monitor structs (the gossip monitor allocates per run: its
-	// buffers are keyed by rumor count, not n).
+	// local monitors (and repurposed as the gossip monitor's source index),
+	// the local monitor's two membership sets, and the gossip monitor's
+	// per-rumor round-stamp matrix — rows over one flat n·k backing array,
+	// resized in place by rumor().
+	monInts  []int
+	monB     []bool
+	monR     []bool
+	monRumor []int
+	monRows  [][]int
+	// pooled monitor structs.
 	globalMon globalMonitor
 	localMon  localMonitor
+	gossipMon gossipMonitor
 
 	// per-node rng storage: nodeRngs[u] points into rngBlock, reseeded per
-	// execution.
+	// execution. algRng is the algorithm-construction stream, reseeded the
+	// same way. probers caches the per-node TransmitProber views.
 	nodeRngs []*bitrand.Source
 	rngBlock []bitrand.Source
+	algRng   bitrand.Source
+	probers  []TransmitProber
+
+	// Process arena: the slab of the last execution that used this scratch,
+	// plus the identity it was built for. When the next execution matches
+	// (same factory name, same network pointer, element-wise-equal spec), the
+	// engine hands the slab to ProcessFactory.ResetProcesses instead of
+	// allocating a fresh one. The stored spec slices are scratch-owned
+	// copies, so later in-place mutation of a caller's spec cannot fake a
+	// match. grow deliberately leaves the arena alone: its key is the
+	// configuration, not n.
+	arenaProcs []Process
+	arenaAlg   string
+	arenaNet   *graph.Dual
+	arenaProb  Problem
+	arenaSrc   graph.NodeID
+	arenaB     []graph.NodeID
+	arenaS     []graph.NodeID
 
 	// recorder delivery buffer, reused each round; handed to Recorder.Record
 	// and valid only during the call.
@@ -85,6 +110,7 @@ func (s *scratch) grow(n int) {
 		s.monR = make([]bool, n)
 		s.rngBlock = make([]bitrand.Source, n)
 		s.nodeRngs = make([]*bitrand.Source, n)
+		s.probers = make([]TransmitProber, n)
 		for u := range s.noise {
 			s.noise[u] = Message{Origin: u}
 			s.nodeRngs[u] = &s.rngBlock[u]
@@ -115,6 +141,8 @@ func (s *scratch) grow(n int) {
 	clear(s.monR)
 	s.rngBlock = s.rngBlock[:n]
 	s.nodeRngs = s.nodeRngs[:n]
+	// probers needs no clear: the engine writes every entry.
+	s.probers = s.probers[:n]
 }
 
 // clique sizes the clique-cover accelerator buffers for count cliques.
@@ -124,4 +152,56 @@ func (s *scratch) clique(count int) ([]int32, []graph.NodeID) {
 		s.cliqueS = make([]graph.NodeID, count)
 	}
 	return s.cliqueTx[:count], s.cliqueS[:count]
+}
+
+// arenaMatch returns the pooled process slab if it was built by the same
+// factory for an identical configuration, nil otherwise.
+func (s *scratch) arenaMatch(cfg Config, n int) []Process {
+	if s.arenaProcs == nil || len(s.arenaProcs) != n ||
+		s.arenaNet != cfg.Net || s.arenaAlg != cfg.Algorithm.Name() ||
+		s.arenaProb != cfg.Spec.Problem || s.arenaSrc != cfg.Spec.Source ||
+		!slices.Equal(s.arenaB, cfg.Spec.Broadcasters) ||
+		!slices.Equal(s.arenaS, cfg.Spec.Sources) {
+		return nil
+	}
+	return s.arenaProcs
+}
+
+// arenaStore records a freshly built slab and the configuration it belongs
+// to. Spec slices are copied into scratch-owned storage.
+func (s *scratch) arenaStore(cfg Config, procs []Process) {
+	s.arenaProcs = procs
+	s.arenaAlg = cfg.Algorithm.Name()
+	s.arenaNet = cfg.Net
+	s.arenaProb = cfg.Spec.Problem
+	s.arenaSrc = cfg.Spec.Source
+	s.arenaB = append(s.arenaB[:0], cfg.Spec.Broadcasters...)
+	s.arenaS = append(s.arenaS[:0], cfg.Spec.Sources...)
+}
+
+// arenaDrop discards the slab (a reset attempt failed; it may be
+// half-mutated).
+func (s *scratch) arenaDrop() {
+	s.arenaProcs = nil
+	s.arenaNet = nil
+	s.arenaAlg = ""
+}
+
+// rumor sizes the gossip monitor's n×k round-stamp matrix: row views over
+// one flat backing array, both resized in place on reuse. Rows are capped so
+// an append on one row can never bleed into the next. The monitor clears the
+// entries itself.
+func (s *scratch) rumor(n, k int) [][]int {
+	if cap(s.monRumor) < n*k {
+		s.monRumor = make([]int, n*k)
+	}
+	s.monRumor = s.monRumor[:n*k]
+	if cap(s.monRows) < n {
+		s.monRows = make([][]int, n)
+	}
+	s.monRows = s.monRows[:n]
+	for u := 0; u < n; u++ {
+		s.monRows[u] = s.monRumor[u*k : (u+1)*k : (u+1)*k]
+	}
+	return s.monRows
 }
