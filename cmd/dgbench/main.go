@@ -11,21 +11,40 @@
 //	dgbench -workers 4         # bound the trial worker pool (0 = GOMAXPROCS)
 //	dgbench -csv               # tables as CSV
 //	dgbench -markdown          # reference-table markdown output
+//
+// The suite also runs sharded across machines. Every (experiment ×
+// sweep-point × trial) task is independently seeded, so the work queue
+// partitions deterministically: shard i of K runs only its own tasks and
+// writes their raw results to a portable JSON artifact, and the merge
+// reassembles the artifacts and replays the aggregation, producing output
+// byte-identical to a single-machine run at the same seeds:
+//
+//	machine A:  dgbench -shard 1/2 -out shard_1.json
+//	machine B:  dgbench -shard 2/2 -out shard_2.json
+//	either:     dgbench -merge 'shard_*.json'      # == dgbench -all
+//
+// The merge reads the run configuration (seed, scale, trial count) from the
+// artifacts themselves; all shards must run the same binary with the same
+// -run/-full/-trials/-seed flags, and -merge validates that they did.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/viz"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dgbench:", err)
 		os.Exit(1)
 	}
@@ -36,32 +55,33 @@ type printOpts struct {
 	markdown bool
 	csv      bool
 	plot     bool
-	// elapsed is printed in the default format when non-zero; the -all mode
-	// omits it because experiments overlap on the shared pool (and so the
-	// output stays byte-identical across worker counts).
+	// elapsed is printed in the default format when non-zero; the -all and
+	// -merge modes omit it because experiments overlap on the shared pool
+	// (and so the output stays byte-identical across worker counts and
+	// shardings).
 	elapsed time.Duration
 }
 
-func printResult(res *experiments.Result, opts printOpts) {
+func printResult(w io.Writer, res *experiments.Result, opts printOpts) {
 	switch {
 	case opts.markdown:
-		fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
-		fmt.Printf("Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
+		fmt.Fprintf(w, "### %s — %s\n\n", res.ID, res.Title)
+		fmt.Fprintf(w, "Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
 		for _, n := range res.Notes {
-			fmt.Printf("- %s\n", n)
+			fmt.Fprintf(w, "- %s\n", n)
 		}
-		fmt.Printf("\n")
+		fmt.Fprintf(w, "\n")
 	case opts.csv:
-		fmt.Printf("# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
+		fmt.Fprintf(w, "# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
 	default:
 		if opts.elapsed > 0 {
-			fmt.Printf("=== %s — %s  [%v]\n", res.ID, res.Title, opts.elapsed.Round(time.Millisecond))
+			fmt.Fprintf(w, "=== %s — %s  [%v]\n", res.ID, res.Title, opts.elapsed.Round(time.Millisecond))
 		} else {
-			fmt.Printf("=== %s — %s\n", res.ID, res.Title)
+			fmt.Fprintf(w, "=== %s — %s\n", res.ID, res.Title)
 		}
-		fmt.Printf("paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
+		fmt.Fprintf(w, "paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
 		for _, n := range res.Notes {
-			fmt.Printf("  %s\n", n)
+			fmt.Fprintf(w, "  %s\n", n)
 		}
 		if opts.plot && len(res.Series) > 0 {
 			p := viz.NewPlot(56, 12)
@@ -69,25 +89,59 @@ func printResult(res *experiments.Result, opts printOpts) {
 			for _, s := range res.Series {
 				p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
 			}
-			fmt.Printf("\nscaling (log-log):\n%s", p.Render())
+			fmt.Fprintf(w, "\nscaling (log-log):\n%s", p.Render())
 		}
-		fmt.Printf("\n")
+		fmt.Fprintf(w, "\n")
 	}
 }
 
-func run(args []string) error {
+// parseShardSpec parses "-shard i/K" (1-based: shard i of K machines). The
+// whole spec must parse — trailing garbage like "1/2/3" is rejected, not
+// truncated, because a typo here wastes an entire machine's run.
+func parseShardSpec(spec string) (index, count int, err error) {
+	i, k, ok := strings.Cut(spec, "/")
+	if ok {
+		index, err = strconv.Atoi(i)
+		if err == nil {
+			count, err = strconv.Atoi(k)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/K, e.g. -shard 1/2", spec)
+	}
+	if count < 1 || index < 1 || index > count {
+		return 0, 0, fmt.Errorf("-shard %q: shard index must be in 1..%d", spec, count)
+	}
+	return index, count, nil
+}
+
+// printSummary prints the run's verdict line and converts deviations into
+// the process exit error, identically for -all, per-experiment, and -merge
+// modes (so merged output is byte-for-byte a single-machine run's).
+func printSummary(w io.Writer, ran, failed int) error {
+	fmt.Fprintf(w, "%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d experiments deviated from the paper's claims", failed)
+	}
+	return nil
+}
+
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
-		full     = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
-		quick    = fs.Bool("quick", true, "reduced sweeps for fast runs (ignored when -full is set)")
-		all      = fs.Bool("all", false, "run every selected experiment concurrently through one shared worker pool")
-		workers  = fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; 1 forces sequential trials)")
-		filter   = fs.String("run", "", "only run experiments whose id contains this substring")
-		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
-		csv      = fs.Bool("csv", false, "emit tables as CSV")
-		markdown = fs.Bool("markdown", false, "emit reference-table markdown")
-		plot     = fs.Bool("plot", false, "render scaling curves as log-log ASCII plots")
-		seed     = fs.Uint64("seed", 0, "base seed offset")
+		full      = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
+		quick     = fs.Bool("quick", true, "reduced sweeps for fast runs (ignored when -full is set)")
+		all       = fs.Bool("all", false, "run every selected experiment concurrently through one shared worker pool")
+		workers   = fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; 1 forces sequential trials)")
+		filter    = fs.String("run", "", "only run experiments whose id contains this substring")
+		trials    = fs.Int("trials", 0, "trials per sweep point (0 = default)")
+		csv       = fs.Bool("csv", false, "emit tables as CSV")
+		markdown  = fs.Bool("markdown", false, "emit reference-table markdown")
+		plot      = fs.Bool("plot", false, "render scaling curves as log-log ASCII plots")
+		seed      = fs.Uint64("seed", 0, "base seed offset")
+		shardSpec = fs.String("shard", "", "execute shard i/K of the task plan and write an artifact (requires -out)")
+		out       = fs.String("out", "", "artifact path for -shard")
+		merge     = fs.String("merge", "", "merge shard artifacts matching this glob and replay the aggregation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +154,27 @@ func run(args []string) error {
 	}
 	opts := printOpts{markdown: *markdown, csv: *csv, plot: *plot}
 
+	if *merge != "" {
+		// The merge reads its experiment selection and run configuration out
+		// of the artifacts; any explicitly set flag besides the output format
+		// would be silently overridden, so reject it instead.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "merge", "csv", "markdown", "plot":
+			default:
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-merge takes its experiment selection and configuration from the artifacts; drop %s", strings.Join(conflict, " "))
+		}
+		return runMerge(w, *merge, opts)
+	}
+	if *out != "" && *shardSpec == "" {
+		return fmt.Errorf("-out is only written by -shard; drop it or add -shard i/K")
+	}
+
 	var selected []experiments.Experiment
 	for _, e := range experiments.All() {
 		if *filter != "" && !strings.Contains(e.ID, *filter) {
@@ -109,6 +184,26 @@ func run(args []string) error {
 	}
 	if len(selected) == 0 {
 		return fmt.Errorf("no experiment matches -run %q", *filter)
+	}
+
+	if *shardSpec != "" {
+		if *all {
+			return fmt.Errorf("-shard already runs its tasks through one shared pool; drop -all")
+		}
+		if *out == "" {
+			return fmt.Errorf("-shard requires -out (artifact path)")
+		}
+		// A shard writes an artifact, not tables; the formats come out of
+		// the merge. Reject them here like -merge rejects run-config flags,
+		// instead of silently ignoring them.
+		if *markdown || *csv || *plot {
+			return fmt.Errorf("-shard writes an artifact, not tables; pass -markdown/-csv/-plot to -merge instead")
+		}
+		index, count, err := parseShardSpec(*shardSpec)
+		if err != nil {
+			return err
+		}
+		return runShard(w, cfg, selected, index, count, *out)
 	}
 
 	ran, failed := 0, 0
@@ -125,10 +220,10 @@ func run(args []string) error {
 			if !results[i].Pass {
 				failed++
 			}
-			printResult(results[i], opts)
+			printResult(w, results[i], opts)
 		}
 		if !*csv && !*markdown {
-			fmt.Printf("shared pool: %d workers, %v total\n", cfg.EffectiveWorkers(), time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(w, "shared pool: %d workers, %v total\n", cfg.EffectiveWorkers(), time.Since(start).Round(time.Millisecond))
 		}
 	} else {
 		for _, e := range selected {
@@ -143,12 +238,68 @@ func run(args []string) error {
 			}
 			perExp := opts
 			perExp.elapsed = time.Since(start)
-			printResult(res, perExp)
+			printResult(w, res, perExp)
 		}
 	}
-	fmt.Printf("%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
-	if failed > 0 {
-		return fmt.Errorf("%d experiments deviated from the paper's claims", failed)
+	return printSummary(w, ran, failed)
+}
+
+// runShard executes one shard of the selection's task plan and writes the
+// artifact: the plan itself, this shard's owned task records, and the run
+// configuration the merge will replay under.
+func runShard(w io.Writer, cfg experiments.Config, selected []experiments.Experiment, index, count int, outPath string) error {
+	art, err := experiments.ExecuteShard(cfg, selected, index, count)
+	if err != nil {
+		return err
 	}
+	if err := shard.Write(outPath, art); err != nil {
+		return err
+	}
+	total := 0
+	for _, p := range art.Plan {
+		total += p.Tasks
+	}
+	fmt.Fprintf(w, "shard %d/%d: ran %d of %d tasks across %d experiments → %s\n",
+		index, count, len(art.Records), total, len(art.Plan), outPath)
 	return nil
+}
+
+// runMerge loads every artifact matching the glob, validates that they tile
+// one run's task plan exactly, replays the aggregation, and prints the
+// results exactly as a single-machine run would.
+func runMerge(w io.Writer, glob string, opts printOpts) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return fmt.Errorf("-merge %q: %w", glob, err)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge %q matches no files", glob)
+	}
+	arts := make([]*shard.Artifact, len(paths))
+	for i, p := range paths {
+		if arts[i], err = shard.Read(p); err != nil {
+			return err
+		}
+	}
+	merged, err := shard.Merge(arts)
+	if err != nil {
+		return err
+	}
+	exps, err := experiments.MergedExperiments(merged)
+	if err != nil {
+		return err
+	}
+	results, errs := experiments.RunMerged(experiments.ConfigFromMerged(merged), exps, merged)
+	ran, failed := 0, 0
+	for i, e := range exps {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", e.ID, errs[i])
+		}
+		ran++
+		if !results[i].Pass {
+			failed++
+		}
+		printResult(w, results[i], opts)
+	}
+	return printSummary(w, ran, failed)
 }

@@ -1,29 +1,35 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunFilteredQuick(t *testing.T) {
 	// L3.2 is the fastest experiment; a filtered quick run exercises the
 	// whole pipeline.
-	if err := run([]string{"-run", "L3.2", "-trials", "2"}); err != nil {
+	if err := run(io.Discard, []string{"-run", "L3.2", "-trials", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMarkdownAndCSV(t *testing.T) {
-	if err := run([]string{"-run", "L3.2", "-trials", "2", "-markdown"}); err != nil {
+	if err := run(io.Discard, []string{"-run", "L3.2", "-trials", "2", "-markdown"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-run", "L3.2", "-trials", "2", "-csv"}); err != nil {
+	if err := run(io.Discard, []string{"-run", "L3.2", "-trials", "2", "-csv"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFilter(t *testing.T) {
-	if err := run([]string{"-run", "no-such-experiment"}); err == nil {
+	if err := run(io.Discard, []string{"-run", "no-such-experiment"}); err == nil {
 		t.Fatal("unknown filter accepted")
 	}
-	if err := run([]string{"-all", "-run", "no-such-experiment"}); err == nil {
+	if err := run(io.Discard, []string{"-all", "-run", "no-such-experiment"}); err == nil {
 		t.Fatal("unknown filter accepted in -all mode")
 	}
 }
@@ -31,13 +37,91 @@ func TestRunUnknownFilter(t *testing.T) {
 func TestRunAllSharedPool(t *testing.T) {
 	// "2" selects the two fast lemma checks (L3.2-hitting, L4.2-permdecay);
 	// both run through the shared pool with an explicit worker count.
-	if err := run([]string{"-all", "-workers", "2", "-run", "2", "-trials", "2"}); err != nil {
+	if err := run(io.Discard, []string{"-all", "-workers", "2", "-run", "2", "-trials", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWorkersSequential(t *testing.T) {
-	if err := run([]string{"-workers", "1", "-run", "L3.2", "-trials", "2"}); err != nil {
+	if err := run(io.Discard, []string{"-workers", "1", "-run", "L3.2", "-trials", "2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardMergeMatchesAll is the CLI half of the sharding contract: for
+// K ∈ {1, 2, 3}, K `-shard i/K` invocations followed by one `-merge`
+// produce byte-identical markdown and CSV output to a single-process
+// `-all` run at the same seeds.
+func TestShardMergeMatchesAll(t *testing.T) {
+	base := []string{"-run", "2", "-trials", "2", "-seed", "7"}
+	var wantMD, wantCSV bytes.Buffer
+	if err := run(&wantMD, append([]string{"-all", "-markdown"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&wantCSV, append([]string{"-all", "-csv"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			for i := 1; i <= k; i++ {
+				out := filepath.Join(dir, fmt.Sprintf("shard_%d.json", i))
+				args := append([]string{"-shard", fmt.Sprintf("%d/%d", i, k), "-out", out}, base...)
+				if err := run(io.Discard, args); err != nil {
+					t.Fatalf("shard %d/%d: %v", i, k, err)
+				}
+			}
+			glob := filepath.Join(dir, "shard_*.json")
+			var gotMD, gotCSV bytes.Buffer
+			if err := run(&gotMD, []string{"-merge", glob, "-markdown"}); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			if gotMD.String() != wantMD.String() {
+				t.Errorf("merged markdown differs from -all\n--- all:\n%s\n--- merged:\n%s", wantMD.String(), gotMD.String())
+			}
+			if err := run(&gotCSV, []string{"-merge", glob, "-csv"}); err != nil {
+				t.Fatalf("merge csv: %v", err)
+			}
+			if gotCSV.String() != wantCSV.String() {
+				t.Errorf("merged CSV differs from -all\n--- all:\n%s\n--- merged:\n%s", wantCSV.String(), gotCSV.String())
+			}
+		})
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shard", "1/2"},                                // missing -out
+		{"-shard", "0/2", "-out", "x.json"},              // 0-based index
+		{"-shard", "3/2", "-out", "x.json"},              // index beyond K
+		{"-shard", "nonsense", "-out", "x.json"},         // unparsable
+		{"-shard", "1/2/3", "-out", "x.json"},            // trailing garbage
+		{"-shard", "1/2", "-all", "-out", "x.json"},      // -all conflict
+		{"-shard", "1/2", "-out", "x.json", "-markdown"}, // formats belong to -merge
+		{"-out", "x.json", "-run", "L3.2"},               // -out without -shard
+		{"-merge", "x*.json", "-run", "L3.2"},            // -merge with selection
+		{"-merge", "x*.json", "-seed", "9"},              // -merge with run config
+		{"-merge", "no-such-file-*.json"},                // empty glob
+	} {
+		if err := run(io.Discard, args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+// TestMergeRejectsMixedRuns merges two artifacts produced at different
+// seeds and expects a loud header-mismatch error rather than silent junk.
+func TestMergeRejectsMixedRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "shard_1.json")
+	b := filepath.Join(dir, "shard_2.json")
+	if err := run(io.Discard, []string{"-run", "L3.2", "-trials", "2", "-shard", "1/2", "-out", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, []string{"-run", "L3.2", "-trials", "2", "-seed", "9", "-shard", "2/2", "-out", b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, []string{"-merge", filepath.Join(dir, "shard_*.json")}); err == nil {
+		t.Fatal("merge of artifacts from different seeds accepted")
 	}
 }

@@ -35,6 +35,13 @@ type Config struct {
 	// pool, when non-nil, is the shared cross-experiment pool installed by
 	// RunAll; sweeps submit to it instead of creating their own.
 	pool *workerPool
+	// shard, when non-nil, replaces normal sweep execution with one phase of
+	// the sharded lifecycle (plan, execute, or merge); installed by
+	// PlanTasks/ExecuteShard/RunMerged. See shard.go.
+	shard *shardState
+	// expID names the experiment a sweep belongs to, stamped by the runners
+	// (withExp) so sharded phases can attribute declared tasks.
+	expID string
 }
 
 func (c Config) trials() int {
@@ -150,12 +157,12 @@ func runTrials(cfg Config, mk func(seed uint64) radio.Config, trials int) (trial
 // runTrialsSequential is the single-threaded reference used to verify the
 // scheduler.
 func runTrialsSequential(mk func(seed uint64) radio.Config, trials int, baseSeed uint64) (trialOutcome, error) {
-	results := make([]trialResult, trials)
+	recs := make([]taskRecord, trials)
 	for i := 0; i < trials; i++ {
 		res, err := radio.Run(mk(baseSeed + uint64(i) + 1))
-		results[i] = trialResult{rounds: float64(res.Rounds), solved: res.Solved, err: err}
+		recs[i] = taskRecord{vals: []float64{float64(res.Rounds), boolBit(res.Solved)}, err: err}
 	}
-	return aggregateTrials(results)
+	return aggregateTrials(recs)
 }
 
 func verdict(pass bool) string {

@@ -49,15 +49,15 @@ func runHittingBound(cfg Config) (*Result, error) {
 	sw := newSweep(cfg)
 	for _, beta := range []int{16, 64} {
 		for _, k := range []int{beta / 8, beta / 4, beta / 2} {
-			won := make([]bool, trials)
-			sw.tasks(trials, func(trial int) {
+			sw.tasks(trials, func(trial int) ([]float64, error) {
 				rng := root.Split(uint64(beta), uint64(k), uint64(trial))
 				target := rng.Intn(beta)
-				won[trial] = hitting.Play(beta, target, k, &hitting.UniformPlayer{Beta: beta}, rng).Won
-			}, func() error {
+				won := hitting.Play(beta, target, k, &hitting.UniformPlayer{Beta: beta}, rng).Won
+				return []float64{boolBit(won)}, nil
+			}, func(recs []taskRecord) error {
 				wins := 0
-				for _, w := range won {
-					if w {
+				for _, r := range recs {
+					if r.val(0) != 0 {
 						wins++
 					}
 				}
@@ -119,9 +119,8 @@ func runReduction(cfg Config) (*Result, error) {
 			{core.DecayGlobal{}, radio.GlobalBroadcast, 64 * beta * bitrand.LogN(beta)},
 		} {
 			// Each play is already independently seeded by its trial index,
-			// so plays fan out onto the pool directly.
-			outs := make([]hitting.Outcome, trials)
-			sw.tasks(trials, func(trial int) {
+			// so plays fan out onto the pool (or across shards) directly.
+			sw.tasks(trials, func(trial int) ([]float64, error) {
 				player := &hitting.SimulationPlayer{
 					Algorithm: tc.alg,
 					Beta:      beta,
@@ -129,15 +128,16 @@ func runReduction(cfg Config) (*Result, error) {
 					Seed:      cfg.BaseSeed + uint64(trial),
 				}
 				target := (trial * 7) % beta
-				outs[trial] = hitting.Play(beta, target, 1<<22, player, bitrand.New(uint64(trial)))
-			}, func() error {
+				out := hitting.Play(beta, target, 1<<22, player, bitrand.New(uint64(trial)))
+				return []float64{boolBit(out.Won), float64(out.Guesses), float64(out.SimRounds)}, nil
+			}, func(recs []taskRecord) error {
 				won := 0
 				var guesses, simRounds []int
-				for _, out := range outs {
-					if out.Won {
+				for _, r := range recs {
+					if r.val(0) != 0 {
 						won++
-						guesses = append(guesses, out.Guesses)
-						simRounds = append(simRounds, out.SimRounds)
+						guesses = append(guesses, int(r.val(1)))
+						simRounds = append(simRounds, int(r.val(2)))
 					}
 				}
 				medG := stats.MedianInts(guesses)
@@ -180,12 +180,12 @@ func runLemma42(cfg Config) (*Result, error) {
 	}{
 		{1, 0, 0}, {8, 0, 0}, {1, 64, 0.5}, {4, 256, 0.5}, {2, 512, 0.9},
 	} {
-		got := make([]bool, trials)
-		sw.tasks(trials, func(trial int) {
+		sw.tasks(trials, func(trial int) ([]float64, error) {
 			src := root.Split(uint64(si), uint64(trial))
 			bits := bitrand.NewBitString(src, core.GlobalBitsLen(n, 1))
 			sched := core.NewPermSchedule(bits, n, 1)
-			for r := 0; r < sched.BlockLen() && !got[trial]; r++ {
+			got := false
+			for r := 0; r < sched.BlockLen() && !got; r++ {
 				p := sched.Prob(r)
 				tx := 0
 				for s := 0; s < shape.ig; s++ {
@@ -200,13 +200,14 @@ func runLemma42(cfg Config) (*Result, error) {
 					}
 				}
 				if tx == 1 {
-					got[trial] = true
+					got = true
 				}
 			}
-		}, func() error {
+			return []float64{boolBit(got)}, nil
+		}, func(recs []taskRecord) error {
 			success := 0
-			for _, g := range got {
-				if g {
+			for _, r := range recs {
+				if r.val(0) != 0 {
 					success++
 				}
 			}

@@ -49,55 +49,104 @@ func (p *workerPool) close() {
 	p.wg.Wait()
 }
 
-// trialResult is one seeded execution's contribution to a sweep point.
-type trialResult struct {
-	rounds float64
-	solved bool
-	err    error
+// taskRecord is one task's complete contribution to its sweep: a small
+// vector of raw values plus the task's error, if any. Records are the unit
+// of serialization for sharded runs (internal/shard.TaskRecord is the wire
+// form), so aggregation closures consume records — never state captured
+// from inside the task — and a record loaded from a shard artifact is
+// indistinguishable from one produced in-process.
+type taskRecord struct {
+	vals []float64
+	err  error
+}
+
+// errText returns the record's error message for serialization ("" when the
+// task succeeded).
+func (r taskRecord) errText() string {
+	if r.err == nil {
+		return ""
+	}
+	return r.err.Error()
+}
+
+// val returns the i-th value, tolerating short vectors from foreign
+// artifacts (a failed trial may carry no values at all).
+func (r taskRecord) val(i int) float64 {
+	if i >= len(r.vals) {
+		return 0
+	}
+	return r.vals[i]
+}
+
+// boolBit encodes a bool into a record value.
+func boolBit(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aggSpec is one aggregation closure together with the contiguous range of
+// the sweep's task records it consumes.
+type aggSpec struct {
+	start, end int
+	fn         func(recs []taskRecord) error
 }
 
 // sweep is a declared collection of work units. Experiments declare their
 // sweep points (a seeded radio.Config factory per point) together with an
-// aggregation closure per point, then call run once: every trial of every
-// point is flattened onto one worker pool, and after the pool drains the
-// aggregation closures fire in declaration order. Each trial's seed fully
-// determines its execution, so the output is byte-identical no matter how
-// many workers run or in which order trials complete.
+// aggregation closure per point, then call run once: every task of every
+// point is flattened onto one worker pool, each task writes exactly one
+// taskRecord, and after the pool drains the aggregation closures fire in
+// declaration order over their record ranges. Each task's index fully
+// determines its execution (seeds are derived from it), so the output is
+// byte-identical no matter how many workers run, in which order tasks
+// complete — or, for sharded runs, which machine ran which task.
 type sweep struct {
 	cfg  Config
 	jobs []func()
-	aggs []func() error
+	recs []taskRecord
+	aggs []aggSpec
 }
 
 // newSweep starts an empty sweep under the given run configuration.
 func newSweep(cfg Config) *sweep { return &sweep{cfg: cfg} }
 
 // tasks declares n independent jobs plus one aggregation closure that runs
-// after every job of the sweep has finished, in declaration order. fn(i) must
-// write its result only to task-private captured state.
-func (s *sweep) tasks(n int, fn func(i int), agg func() error) {
+// after every job of the sweep has finished, in declaration order. fn(i)
+// returns task i's record values (and error); it must derive everything from
+// i alone so any subset of tasks can run in any process. agg receives the
+// point's records in task order.
+func (s *sweep) tasks(n int, fn func(i int) ([]float64, error), agg func(recs []taskRecord) error) {
+	start := len(s.recs)
+	s.recs = append(s.recs, make([]taskRecord, n)...)
 	for i := 0; i < n; i++ {
-		s.jobs = append(s.jobs, func() { fn(i) })
+		g := start + i
+		s.jobs = append(s.jobs, func() {
+			vals, err := fn(g - start)
+			s.recs[g] = taskRecord{vals: vals, err: err}
+		})
 	}
 	if agg != nil {
-		s.aggs = append(s.aggs, agg)
+		s.aggs = append(s.aggs, aggSpec{start: start, end: start + n, fn: agg})
 	}
 }
 
 // point declares one sweep point: trials seeded executions of the factory,
 // aggregated by agg. Trial i runs with seed BaseSeed+i+1, exactly as the
-// sequential reference runner seeds them.
+// sequential reference runner seeds them. A trial's record is its executed
+// round count and a solved bit — the raw data aggregateTrials (and, after a
+// sharded merge, the replayed aggregation) condenses into a trialOutcome.
 func (s *sweep) point(trials int, mk func(seed uint64) radio.Config, agg func(trialOutcome)) {
 	if trials < 0 {
 		trials = 0
 	}
-	results := make([]trialResult, trials)
 	base := s.cfg.BaseSeed
-	s.tasks(trials, func(i int) {
+	s.tasks(trials, func(i int) ([]float64, error) {
 		res, err := radio.Run(mk(base + uint64(i) + 1))
-		results[i] = trialResult{rounds: float64(res.Rounds), solved: res.Solved, err: err}
-	}, func() error {
-		out, err := aggregateTrials(results)
+		return []float64{float64(res.Rounds), boolBit(res.Solved)}, err
+	}, func(recs []taskRecord) error {
+		out, err := aggregateTrials(recs)
 		if err != nil {
 			return err
 		}
@@ -106,11 +155,18 @@ func (s *sweep) point(trials int, mk func(seed uint64) radio.Config, agg func(tr
 	})
 }
 
-// run executes every declared job on the configured pool — the shared
-// cross-experiment pool when one is set (RunAll), otherwise a pool created
-// for this sweep — then invokes the aggregation closures in declaration
-// order, stopping at the first error.
+// run executes the declared sweep. In an unsharded run every job executes on
+// the configured pool — the shared cross-experiment pool when one is set
+// (RunAll), otherwise a pool created for this sweep — and the aggregation
+// closures then fire in declaration order, stopping at the first error. In
+// a sharded run (Config.shard set) the installed phase takes over: plan
+// counts the tasks, execute runs only the owned subset and captures their
+// records, merge injects records loaded from artifacts and replays the
+// aggregations. See shard.go.
 func (s *sweep) run() error {
+	if s.cfg.shard != nil {
+		return s.cfg.shard.runSweep(s)
+	}
 	pool := s.cfg.pool
 	if pool == nil {
 		workers := s.cfg.workers()
@@ -129,8 +185,14 @@ func (s *sweep) run() error {
 		})
 	}
 	wg.Wait()
+	return s.aggregate()
+}
+
+// aggregate fires the aggregation closures in declaration order over the
+// sweep's records, stopping at the first error.
+func (s *sweep) aggregate() error {
 	for _, agg := range s.aggs {
-		if err := agg(); err != nil {
+		if err := agg.fn(s.recs[agg.start:agg.end]); err != nil {
 			return err
 		}
 	}
@@ -158,15 +220,17 @@ func (e *TrialError) Error() string {
 // Unwrap exposes the first underlying error for errors.Is/As.
 func (e *TrialError) Unwrap() error { return e.Errs[0] }
 
-// aggregateTrials condenses a point's trial results. Every failing trial is
+// aggregateTrials condenses a point's trial records. Every failing trial is
 // reported (as a *TrialError); unsolved trials are counted in Censored and
 // contribute their executed round budget to the round summary as
 // right-censored observations — the medians read "at least this many rounds"
-// whenever Censored > 0.
-func aggregateTrials(results []trialResult) (trialOutcome, error) {
-	out := trialOutcome{Trials: len(results)}
+// whenever Censored > 0. The input is raw per-trial data (rounds, solved
+// bit), so the same function reconstructs identical summaries whether the
+// records were produced in-process or merged from shard artifacts.
+func aggregateTrials(recs []taskRecord) (trialOutcome, error) {
+	out := trialOutcome{Trials: len(recs)}
 	var te TrialError
-	for i, r := range results {
+	for i, r := range recs {
 		if r.err != nil {
 			te.Failed = append(te.Failed, i)
 			te.Errs = append(te.Errs, fmt.Errorf("trial %d: %w", i, r.err))
@@ -175,21 +239,21 @@ func aggregateTrials(results []trialResult) (trialOutcome, error) {
 	if len(te.Failed) > 0 {
 		return out, &te
 	}
-	if len(results) == 0 {
+	if len(recs) == 0 {
 		return out, nil
 	}
-	rounds := make([]float64, 0, len(results))
-	for _, r := range results {
-		if r.solved {
-			out.Solved++
-		}
-		rounds = append(rounds, r.rounds)
+	rounds := make([]float64, len(recs))
+	solved := make([]bool, len(recs))
+	for i, r := range recs {
+		rounds[i] = r.val(0)
+		solved[i] = r.val(1) != 0
 	}
-	out.Censored = out.Trials - out.Solved
-	s := stats.Summarize(rounds)
-	out.MedianRounds = s.Median
-	out.MeanRounds = s.Mean
-	out.P90 = s.P90
+	cs := stats.SummarizeCensored(rounds, solved)
+	out.Solved = cs.Solved
+	out.Censored = cs.Censored
+	out.MedianRounds = cs.Median
+	out.MeanRounds = cs.Mean
+	out.P90 = cs.P90
 	return out, nil
 }
 
@@ -211,11 +275,18 @@ func RunAll(cfg Config, exps []Experiment) ([]*Result, []error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = e.Run(cfg)
+			results[i], errs[i] = e.Run(withExp(cfg, e))
 		}()
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// withExp stamps the experiment's identity into its config copy, so sharded
+// phases can attribute declared tasks to the experiment that owns them.
+func withExp(cfg Config, e Experiment) Config {
+	cfg.expID = e.ID
+	return cfg
 }
 
 // sortedKeys returns a map's keys in ascending order, for deterministic

@@ -44,6 +44,34 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// CensoredSummary is a Summary over trial round counts where not every
+// trial finished: Solved trials observed their true completion round,
+// Censored trials contribute their executed round budget as right-censored
+// observations (the medians read "at least this many rounds" whenever
+// Censored > 0).
+type CensoredSummary struct {
+	Summary
+	Solved   int
+	Censored int
+}
+
+// SummarizeCensored reconstructs a censored round summary from raw
+// per-trial data: rounds[i] is trial i's executed round count and solved[i]
+// whether it completed within that budget. Because it consumes only raw
+// per-trial values, the same call produces bit-identical summaries whether
+// the trials ran in this process or were merged back from shard artifacts
+// (internal/shard) written on other machines.
+func SummarizeCensored(rounds []float64, solved []bool) CensoredSummary {
+	cs := CensoredSummary{Summary: Summarize(rounds)}
+	for _, ok := range solved {
+		if ok {
+			cs.Solved++
+		}
+	}
+	cs.Censored = len(solved) - cs.Solved
+	return cs
+}
+
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample with linear
 // interpolation.
 func Quantile(sorted []float64, q float64) float64 {

@@ -231,3 +231,21 @@ func TestFmtFloat(t *testing.T) {
 		}
 	}
 }
+
+func TestSummarizeCensored(t *testing.T) {
+	// Trials 0 and 2 solved at their observed rounds; trials 1 and 3 hit
+	// their budget unsolved and enter the summary right-censored.
+	rounds := []float64{10, 50, 30, 50}
+	solved := []bool{true, false, true, false}
+	cs := SummarizeCensored(rounds, solved)
+	if cs.Solved != 2 || cs.Censored != 2 {
+		t.Fatalf("solved/censored = %d/%d, want 2/2", cs.Solved, cs.Censored)
+	}
+	if cs.Median != 40 || cs.Mean != 35 || cs.N != 4 {
+		t.Fatalf("summary over censored rounds wrong: %+v", cs.Summary)
+	}
+	empty := SummarizeCensored(nil, nil)
+	if empty.Solved != 0 || empty.Censored != 0 || empty.N != 0 {
+		t.Fatalf("empty input: %+v", empty)
+	}
+}
