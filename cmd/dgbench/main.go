@@ -5,6 +5,7 @@
 // Examples:
 //
 //	dgbench                    # quick suite (seconds)
+//	dgbench -list              # print the experiment index, run nothing
 //	dgbench -all               # whole registry through one shared worker pool
 //	dgbench -full              # full suite (minutes)
 //	dgbench -run F1-online     # only matching experiment ids
@@ -129,6 +130,7 @@ func printSummary(w io.Writer, ran, failed int) error {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
+		list      = fs.Bool("list", false, "print the experiment index (ID and title) without running anything")
 		full      = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
 		quick     = fs.Bool("quick", true, "reduced sweeps for fast runs (ignored when -full is set)")
 		all       = fs.Bool("all", false, "run every selected experiment concurrently through one shared worker pool")
@@ -154,6 +156,34 @@ func run(w io.Writer, args []string) error {
 	}
 	opts := printOpts{markdown: *markdown, csv: *csv, plot: *plot}
 
+	if *list {
+		// -list is a mode flag like -shard and -merge: it runs nothing, so
+		// combining it with an execution mode is a contradiction. Only the
+		// -run filter composes with it.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "list", "run":
+			default:
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-list prints the experiment index without running anything; drop %s", strings.Join(conflict, " "))
+		}
+		matched := 0
+		for _, e := range experiments.All() {
+			if *filter != "" && !strings.Contains(e.ID, *filter) {
+				continue
+			}
+			matched++
+			fmt.Fprintf(w, "%-28s %s\n", e.ID, e.Title)
+		}
+		if matched == 0 {
+			return fmt.Errorf("no experiment matches -run %q", *filter)
+		}
+		return nil
+	}
 	if *merge != "" {
 		// The merge reads its experiment selection and run configuration out
 		// of the artifacts; any explicitly set flag besides the output format

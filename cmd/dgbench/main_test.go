@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -86,6 +87,60 @@ func TestShardMergeMatchesAll(t *testing.T) {
 				t.Errorf("merged CSV differs from -all\n--- all:\n%s\n--- merged:\n%s", wantCSV.String(), gotCSV.String())
 			}
 		})
+	}
+}
+
+// TestListExperiments checks -list prints the index (ID + title) without
+// executing anything, and that the -run filter composes with it.
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"F1-static-global", "CHURN-gossip", "EXT-contention", "L3.2-hitting"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+	var filtered bytes.Buffer
+	if err := run(&filtered, []string{"-list", "-run", "CHURN"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(filtered.String(), "L3.2-hitting") || !strings.Contains(filtered.String(), "CHURN-broadcast") {
+		t.Errorf("-list -run CHURN filtered wrong:\n%s", filtered.String())
+	}
+	if err := run(io.Discard, []string{"-list", "-run", "no-such-experiment"}); err == nil {
+		t.Error("-list with unmatched filter accepted")
+	}
+}
+
+// TestListFlagValidation rejects -list combined with execution modes, the
+// same way the other mode flags reject each other.
+func TestListFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-list", "-shard", "1/2", "-out", "x.json"},
+		{"-list", "-merge", "x*.json"},
+		{"-list", "-all"},
+		{"-list", "-markdown"},
+		{"-list", "-trials", "3"},
+	} {
+		if err := run(io.Discard, args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+// TestMergeEmptyGlobNamesGlob pins the fail-fast contract: a -merge glob
+// matching zero files must fail immediately with the glob in the message,
+// not surface a downstream artifact error.
+func TestMergeEmptyGlobNamesGlob(t *testing.T) {
+	const glob = "no-such-dir/shard_*.json"
+	err := run(io.Discard, []string{"-merge", glob})
+	if err == nil {
+		t.Fatal("empty glob accepted")
+	}
+	if !strings.Contains(err.Error(), glob) {
+		t.Fatalf("error %q does not name the glob %q", err, glob)
 	}
 }
 

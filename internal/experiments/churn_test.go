@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChurnFamilyWorkerDeterminism pins the scenario-layer experiments to
+// the scheduler's worker-count invariant at the acceptance bounds: forced
+// sequential (Workers: 1) and heavily parallel (Workers: 64) runs must
+// produce byte-identical tables, notes, and series. Epoch swaps and
+// injections happen inside trials, so nothing about the schedule may leak
+// across the worker pool.
+func TestChurnFamilyWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, id := range []string{"CHURN-broadcast", "CHURN-gossip", "EXT-contention"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			seqRes, err := exp.Run(Config{Quick: true, Trials: 2, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, err := exp.Run(Config{Quick: true, Trials: 2, Workers: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, par := resultFingerprint(seqRes), resultFingerprint(parRes)
+			if seq != par {
+				t.Fatalf("output diverges between Workers:1 and Workers:64\n--- sequential:\n%s\n--- parallel:\n%s", seq, par)
+			}
+		})
+	}
+}

@@ -9,6 +9,9 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ABL-permutation",
 		"ABL-seeds",
+		"CHURN-broadcast",
+		"CHURN-gossip",
+		"EXT-contention",
 		"EXT-gossip",
 		"EXT-leader",
 		"F1-oblivious-global",

@@ -24,6 +24,14 @@ import (
 // r / k. For k = 1 this degenerates to the Section 4.1 global broadcast.
 // Expected completion is O(k · (D·log n + log²n)) subsequence-scaled rounds
 // against oblivious adversaries.
+//
+// TDM is injection-aware: rumors scheduled by Spec.Injections get their own
+// time-division slot from the start, but their origin stays silent until the
+// injection round, then transmits deterministically in its first served slot
+// (as the Section 4.1 source does in round 0) and joins permuted decay. The
+// injected rumor's shared bits are still drawn at construction time — what
+// the injection round delays is activation, not randomness — so executions
+// remain a pure function of the seed.
 type TDM struct{}
 
 var _ radio.ProcessFactory = TDM{}
@@ -36,14 +44,26 @@ type rumor struct {
 	bits *bitrand.BitString
 }
 
+// rumorStart returns the round rumor index i enters the system: 0 for
+// initial sources, the injection round for injected rumors.
+func rumorStart(spec radio.Spec, i int) int {
+	if i < len(spec.Sources) {
+		return 0
+	}
+	return spec.Injections[i-len(spec.Sources)].Round
+}
+
 // NewProcesses implements radio.Algorithm.
 func (TDM) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
 	n := net.N()
-	k := len(spec.Sources)
+	k := spec.NumRumors()
 	numBlocks := 2 * bitrand.LogN(n)
 	srcIndex := make(map[graph.NodeID]int, k)
 	for i, s := range spec.Sources {
 		srcIndex[s] = i
+	}
+	for j, inj := range spec.Injections {
+		srcIndex[inj.Source] = len(spec.Sources) + j
 	}
 	procs := make([]radio.Process, n)
 	for u := 0; u < n; u++ {
@@ -59,7 +79,7 @@ func (TDM) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) [
 		if i, ok := srcIndex[u]; ok {
 			bits := bitrand.NewBitString(rng, core.GlobalBitsLen(n, numBlocks))
 			st := &p.states[i]
-			st.informedAt = 0
+			st.informedAt = rumorStart(spec, i)
 			st.sched.Reset(bits, n, numBlocks)
 			st.msg = &radio.Message{Origin: u, Payload: rumor{bits: bits}}
 			st.isOrigin = true
@@ -75,7 +95,7 @@ func (TDM) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) [
 // cleared to uninformed first.
 func (TDM) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spec, rng *bitrand.Source) bool {
 	n := net.N()
-	k := len(spec.Sources)
+	k := spec.NumRumors()
 	numBlocks := 2 * bitrand.LogN(n)
 	for u := range procs {
 		p, ok := procs[u].(*tdmProc)
@@ -90,6 +110,14 @@ func (TDM) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spe
 			if s == u {
 				si = i
 				break
+			}
+		}
+		if si < 0 {
+			for j, inj := range spec.Injections {
+				if inj.Source == u {
+					si = len(spec.Sources) + j
+					break
+				}
 			}
 		}
 		// Capture this origin's own bit string before clearing: the origin
@@ -119,7 +147,7 @@ func (TDM) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spe
 				oldMsg = nil
 			}
 			st := &p.states[si]
-			st.informedAt = 0
+			st.informedAt = rumorStart(spec, si)
 			st.sched.Reset(bits, n, numBlocks)
 			if oldMsg != nil && oldMsg.Origin == u {
 				st.msg = oldMsg
@@ -169,8 +197,13 @@ func (p *tdmProc) prob(r int) (float64, *rumorState) {
 		return 0, st
 	}
 	if st.isOrigin {
-		// Origins transmit deterministically in their first slot (as the
-		// Section 4.1 source does in round 0), then join permuted decay.
+		// An injected rumor's origin stays silent until its injection round
+		// (informedAt holds the activation round for origins).
+		if r < st.informedAt {
+			return 0, st
+		}
+		// Origins transmit deterministically in their first active slot (as
+		// the Section 4.1 source does in round 0), then join permuted decay.
 		if !st.originSent {
 			return 1, st
 		}

@@ -46,6 +46,8 @@ func TestProcessArenaMatchesFresh(t *testing.T) {
 		{"round-robin", core.RoundRobin{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
 		{"geo-local", core.GeoLocal{}, geo, radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: broadcasters}},
 		{"gossip-tdm", gossip.TDM{}, geo, radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 7, 13}}},
+		{"gossip-tdm/injected", gossip.TDM{}, geo, radio.Spec{Problem: radio.Gossip,
+			Sources: []graph.NodeID{0, 7}, Injections: []radio.Injection{{Source: 3, Round: 17}}}},
 		{"leader-elect", le, geo, radio.Spec{Problem: radio.GlobalBroadcast, Source: le.Leader(geo.N())}},
 	}
 	for _, tc := range cases {

@@ -8,10 +8,32 @@ import (
 	"repro/internal/graph"
 )
 
+// Epoch is one entry of a topology schedule: from round Start onward the
+// execution runs on Net, until the next epoch begins. Epochs are produced by
+// the scenario layer (internal/scenario), which precompiles one immutable
+// graph revision per epoch so the engine only swaps CSR views at boundaries.
+type Epoch struct {
+	// Start is the first round of the epoch. Epochs[0].Start must be 0 and
+	// starts must be strictly increasing.
+	Start int
+	// Net is the epoch's dual graph. All epochs of a schedule share one
+	// vertex set (same N); per-node process state carries across swaps.
+	Net *graph.Dual
+}
+
 // Config describes one execution.
 type Config struct {
-	// Net is the dual graph network.
+	// Net is the dual graph network. Exactly today's static model: one
+	// immutable topology for the whole execution.
 	Net *graph.Dual
+	// Epochs, when non-empty, is a topology schedule replacing the single
+	// static Net: the execution starts on Epochs[0].Net and switches to each
+	// subsequent epoch's network at its Start round. A nil/single-epoch
+	// schedule is exactly the static path. Net may be left nil, or set to
+	// Epochs[0].Net (anything else is an error). Link processes commit
+	// against the initial topology (Env.Net = Epochs[0].Net); selector-based
+	// adversaries apply per round to whatever topology is current.
+	Epochs []Epoch
 	// Algorithm constructs the per-node processes.
 	Algorithm Algorithm
 	// Spec is the problem instance.
@@ -57,8 +79,17 @@ type Result struct {
 	// it was first satisfied (-1 if never, or not in R). Nil for global.
 	ReceiverDoneAt []int
 	// RumorAt, for gossip, maps [node][rumor index] to the round the node
-	// first held the rumor (-1 if never). Nil for other problems.
+	// first held the rumor (-1 if never). Rumor indices cover Spec.Sources
+	// then Spec.Injections, in order. Nil for other problems.
 	RumorAt [][]int
+	// RumorStartAt, for gossip, maps each rumor index to the round it
+	// entered the system: 0 for Spec.Sources, the injection round for
+	// Spec.Injections. Nil for other problems.
+	RumorStartAt []int
+	// RumorDoneAt, for gossip, maps each rumor index to the round by which
+	// every node held it (-1 if dissemination did not complete). Per-rumor
+	// sojourn under contention is RumorDoneAt[i] - RumorStartAt[i].
+	RumorDoneAt []int
 	// TxByNode counts each node's transmissions: the energy profile of the
 	// execution (radios spend most of their budget transmitting).
 	TxByNode []int64
@@ -83,6 +114,10 @@ type engine struct {
 	net   *graph.Dual
 	n     int
 	procs []Process
+	// epochs is the validated topology schedule (nil on the static path);
+	// epochIdx is the index of the current epoch.
+	epochs   []Epoch
+	epochIdx int
 	// probers[u] is non-nil when procs[u] implements TransmitProber.
 	probers []TransmitProber
 
@@ -124,17 +159,46 @@ type engine struct {
 }
 
 func newEngine(cfg Config) (*engine, error) {
+	if len(cfg.Epochs) > 0 {
+		eps := cfg.Epochs
+		if eps[0].Start != 0 {
+			return nil, fmt.Errorf("%w: epoch schedule starts at round %d, want 0", ErrBadConfig, eps[0].Start)
+		}
+		for i, ep := range eps {
+			if ep.Net == nil {
+				return nil, fmt.Errorf("%w: epoch %d has nil network", ErrBadConfig, i)
+			}
+			if ep.Net.N() != eps[0].Net.N() {
+				return nil, fmt.Errorf("%w: epoch %d has %d nodes, epoch 0 has %d (the vertex set is fixed across epochs)",
+					ErrBadConfig, i, ep.Net.N(), eps[0].Net.N())
+			}
+			if i > 0 && ep.Start <= eps[i-1].Start {
+				return nil, fmt.Errorf("%w: epoch %d starts at round %d, not after epoch %d (round %d)",
+					ErrBadConfig, i, ep.Start, i-1, eps[i-1].Start)
+			}
+		}
+		if cfg.Net != nil && cfg.Net != eps[0].Net {
+			return nil, fmt.Errorf("%w: Net is set but differs from Epochs[0].Net; leave Net nil with an epoch schedule", ErrBadConfig)
+		}
+		// Normalize: the initial network is the schedule's first epoch, so
+		// everything keyed off cfg.Net (process construction, the arena, the
+		// adversary Env) sees the epoch-0 topology.
+		cfg.Net = eps[0].Net
+	}
 	if cfg.Net == nil {
 		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
 	}
 	if cfg.Algorithm == nil {
 		return nil, fmt.Errorf("%w: nil algorithm", ErrBadConfig)
 	}
+	if len(cfg.Spec.Injections) > 0 && cfg.Spec.Problem != Gossip {
+		return nil, fmt.Errorf("%w: rumor injections are only valid for gossip, not %v", ErrBadConfig, cfg.Spec.Problem)
+	}
 	n := cfg.Net.N()
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 64 * n * n
 	}
-	e := &engine{cfg: cfg, net: cfg.Net, n: n, sc: getScratch(n)}
+	e := &engine{cfg: cfg, net: cfg.Net, n: n, epochs: cfg.Epochs, sc: getScratch(n)}
 	e.gOffs, e.gAdj = cfg.Net.G().CSR()
 	e.exOffs, e.exAdj = cfg.Net.ExtraCSR()
 	e.master.Reseed(cfg.Seed)
@@ -194,7 +258,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.mon = lm
 	case Gossip:
 		var gm *gossipMonitor
-		gm, err = newGossipMonitor(n, cfg.Spec.Sources, e.sc)
+		gm, err = newGossipMonitor(n, cfg.Spec, e.sc)
 		e.mon = gm
 	default:
 		err = fmt.Errorf("unknown problem %v", cfg.Spec.Problem)
@@ -267,6 +331,9 @@ func (e *engine) release() {
 func (e *engine) run() (Result, error) {
 	var res Result
 	for r := 0; r < e.cfg.MaxRounds; r++ {
+		if e.epochIdx+1 < len(e.epochs) && e.epochs[e.epochIdx+1].Start == r {
+			e.swapEpoch()
+		}
 		e.step(r, &res)
 		if !res.Solved && e.mon.done() {
 			res.Solved = true
@@ -282,6 +349,23 @@ func (e *engine) run() (Result, error) {
 	}
 	e.fill(&res)
 	return res, nil
+}
+
+// swapEpoch advances to the next epoch of the topology schedule: the
+// current network pointer and its hoisted CSR views change, and the clique
+// cover accelerator re-keys to the new revision (CliqueCoverOf memoizes per
+// graph, so repeated trials over one schedule share the covers). Process and
+// monitor state is untouched — nodes persist across topology churn.
+func (e *engine) swapEpoch() {
+	e.epochIdx++
+	net := e.epochs[e.epochIdx].Net
+	e.net = net
+	e.gOffs, e.gAdj = net.G().CSR()
+	e.exOffs, e.exAdj = net.ExtraCSR()
+	if e.cfg.UseCliqueCover {
+		e.accel = graph.CliqueCoverOf(net.G())
+		e.cliqueTx, e.cliqueS = e.sc.clique(e.accel.Count)
+	}
 }
 
 func (e *engine) fill(res *Result) {
@@ -300,6 +384,27 @@ func (e *engine) fill(res *Result) {
 		for u, row := range m.haveAt {
 			flat = append(flat, row...)
 			res.RumorAt[u] = flat[u*k : (u+1)*k : (u+1)*k]
+		}
+		// Per-rumor entry and completion rounds, over one backing array.
+		meta := make([]int, 2*k)
+		res.RumorStartAt = meta[:k:k]
+		res.RumorDoneAt = meta[k:]
+		for j, inj := range e.cfg.Spec.Injections {
+			res.RumorStartAt[len(e.cfg.Spec.Sources)+j] = inj.Round
+		}
+		for i := 0; i < k; i++ {
+			done := -1
+			for u := 0; u < n; u++ {
+				at := m.haveAt[u][i]
+				if at < 0 {
+					done = -1
+					break
+				}
+				if at > done {
+					done = at
+				}
+			}
+			res.RumorDoneAt[i] = done
 		}
 	}
 }

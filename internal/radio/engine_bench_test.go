@@ -57,6 +57,97 @@ func BenchmarkEngineRoundDelivery(b *testing.B) {
 	b.Run("bracelet/n=512/all-link", func(b *testing.B) { run(b, br, globalSpec, allLink{}, false) })
 }
 
+// BenchmarkEpochSwap measures full trials under a topology schedule against
+// the identical static trial. The revisions are precompiled once (as the
+// scenario layer does), so the only per-trial epoch cost is swapping hoisted
+// CSR views and re-keying the memoized clique cover — the tracked number is
+// allocs/op, which must stay within a few of the static path
+// (BENCH_pr4.json).
+func BenchmarkEpochSwap(b *testing.B) {
+	dc, _ := graph.DualClique(128, 3)
+	// Eight churn epochs inside the 256-round budget: every 32 rounds one
+	// node leaves or rejoins and one reliable edge is demoted or restored.
+	rv := graph.NewRevision(dc)
+	epochs := []radio.Epoch{{Start: 0, Net: dc}}
+	for e := 1; e < 8; e++ {
+		ops := []graph.ChurnOp{
+			{Kind: graph.ChurnLeave, U: 10 + e},
+			{Kind: graph.ChurnRemoveEdge, U: 2 * e, V: 2*e + 1},
+		}
+		if e > 1 {
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnJoin, U: 10 + e - 1})
+		}
+		var err error
+		if rv, err = rv.Apply(ops); err != nil {
+			b.Fatal(err)
+		}
+		epochs = append(epochs, radio.Epoch{Start: 32 * e, Net: rv.Dual()})
+	}
+	spec := radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}
+	run := func(b *testing.B, static bool, cover bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := radio.Config{
+				Algorithm:        core.DecayGlobal{},
+				Spec:             spec,
+				Seed:             uint64(i),
+				MaxRounds:        256,
+				UseCliqueCover:   cover,
+				IgnoreCompletion: true,
+			}
+			if static {
+				cfg.Net = dc
+			} else {
+				cfg.Epochs = epochs
+			}
+			if _, err := radio.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("static/n=128", func(b *testing.B) { run(b, true, false) })
+	b.Run("epochs/n=128", func(b *testing.B) { run(b, false, false) })
+	b.Run("static/n=128/cover", func(b *testing.B) { run(b, true, true) })
+	b.Run("epochs/n=128/cover", func(b *testing.B) { run(b, false, true) })
+}
+
+// BenchmarkContentionTrial measures a TDM gossip trial with staggered
+// mid-run injections next to the same trial with all rumors present from
+// round 0: the injection machinery (per-rumor activation, monitor
+// pre-stamping, per-rumor completion in Result) must not add per-trial
+// allocation churn beyond the two Result metadata slices.
+func BenchmarkContentionTrial(b *testing.B) {
+	net := graph.UniformDual(graph.Grid(12, 12))
+	allUp := radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 37, 91, 140}}
+	staggered := radio.Spec{
+		Problem: radio.Gossip,
+		Sources: []graph.NodeID{0, 37},
+		Injections: []radio.Injection{
+			{Source: 91, Round: 16},
+			{Source: 140, Round: 32},
+		},
+	}
+	run := func(b *testing.B, spec radio.Spec) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := radio.Run(radio.Config{
+				Net:       net,
+				Algorithm: gossip.TDM{},
+				Spec:      spec,
+				Seed:      uint64(i),
+				MaxRounds: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("all-up/k=4", func(b *testing.B) { run(b, allUp) })
+	b.Run("staggered/k=4", func(b *testing.B) { run(b, staggered) })
+}
+
 // BenchmarkGossipTrial measures a full TDM gossip trial on a grid: the
 // k-rumor monitor's Θ(n·k) matrices and the per-rumor process state dominate
 // the setup allocations.

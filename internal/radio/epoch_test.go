@@ -1,0 +1,179 @@
+package radio_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// TestSingleEpochMatchesStatic pins the static-path regression contract at
+// the engine level: a one-epoch schedule is byte-identical to passing the
+// same network as Config.Net, across seeds and algorithms.
+func TestSingleEpochMatchesStatic(t *testing.T) {
+	dc, _ := graph.DualClique(32, 3)
+	grid := graph.UniformDual(graph.Grid(5, 5))
+	cases := []struct {
+		name string
+		net  *graph.Dual
+		alg  radio.Algorithm
+		spec radio.Spec
+	}{
+		{"decay/dual-clique", dc, core.DecayGlobal{}, radio.Spec{Problem: radio.GlobalBroadcast, Source: 1}},
+		{"tdm/grid", grid, gossip.TDM{}, radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 12}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				static, err := radio.Run(radio.Config{
+					Net: tc.net, Algorithm: tc.alg, Spec: tc.spec, Seed: seed, MaxRounds: 2000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				epoch, err := radio.Run(radio.Config{
+					Epochs:    []radio.Epoch{{Start: 0, Net: tc.net}},
+					Algorithm: tc.alg, Spec: tc.spec, Seed: seed, MaxRounds: 2000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(static, epoch) {
+					t.Fatalf("seed %d: single-epoch result differs from static\nstatic: %+v\nepoch:  %+v", seed, static, epoch)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochSwapChangesTopology uses a 3-node line whose middle link exists
+// only in the second epoch: under round-robin the message cannot cross until
+// the swap, so the completion round proves the engine really switched its
+// hoisted CSR views.
+func TestEpochSwapChangesTopology(t *testing.T) {
+	// Epoch 0: G = {0-1}; node 2 isolated. Epoch 1 (round 8): G adds {1-2}.
+	b0 := graph.NewBuilder(3)
+	b0.AddEdge(0, 1)
+	net0 := graph.UniformDual(b0.Build())
+	rev, err := graph.NewRevision(net0).Apply([]graph.ChurnOp{{Kind: graph.ChurnAddEdge, U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := radio.Config{
+		Epochs:    []radio.Epoch{{Start: 0, Net: net0}, {Start: 8, Net: rev.Dual()}},
+		Algorithm: core.RoundRobin{},
+		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Seed:      1,
+		MaxRounds: 64,
+	}
+	res, err := radio.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("broadcast unsolved after the joining epoch: %+v", res)
+	}
+	if res.InformedAt[2] < 8 {
+		t.Fatalf("node 2 informed at round %d, before the epoch-1 link existed", res.InformedAt[2])
+	}
+	// Without the second epoch the run must be censored at MaxRounds.
+	staticRes, err := radio.Run(radio.Config{
+		Net: net0, Algorithm: core.RoundRobin{}, Spec: cfg.Spec, Seed: 1, MaxRounds: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRes.Solved {
+		t.Fatal("static epoch-0 topology should never inform the isolated node")
+	}
+}
+
+// TestEpochScheduleValidation exercises the schedule validation errors.
+func TestEpochScheduleValidation(t *testing.T) {
+	net := graph.UniformDual(graph.Line(4))
+	other := graph.UniformDual(graph.Line(5))
+	spec := radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}
+	for name, cfg := range map[string]radio.Config{
+		"nonzero-first-start": {Epochs: []radio.Epoch{{Start: 3, Net: net}}},
+		"nil-epoch-net":       {Epochs: []radio.Epoch{{Start: 0, Net: net}, {Start: 4, Net: nil}}},
+		"vertex-set-changes":  {Epochs: []radio.Epoch{{Start: 0, Net: net}, {Start: 4, Net: other}}},
+		"non-increasing":      {Epochs: []radio.Epoch{{Start: 0, Net: net}, {Start: 4, Net: net}, {Start: 4, Net: net}}},
+		"conflicting-net":     {Net: other, Epochs: []radio.Epoch{{Start: 0, Net: net}}},
+		"injection-non-gossip": {Net: net,
+			Spec: radio.Spec{Problem: radio.GlobalBroadcast, Injections: []radio.Injection{{Source: 1, Round: 2}}}},
+	} {
+		cfg := cfg
+		cfg.Algorithm = core.RoundRobin{}
+		if cfg.Spec.Problem == 0 {
+			cfg.Spec = spec
+		}
+		if _, err := radio.Run(cfg); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+// TestGossipInjection runs TDM with one initial and one injected rumor on a
+// clique and checks the injection contract end to end: nobody holds the
+// injected rumor before its round, the origin is stamped at exactly the
+// injection round, and the per-rumor completion fields line up with RumorAt.
+func TestGossipInjection(t *testing.T) {
+	net := graph.UniformDual(graph.Clique(12))
+	const injRound = 40
+	spec := radio.Spec{
+		Problem:    radio.Gossip,
+		Sources:    []graph.NodeID{0},
+		Injections: []radio.Injection{{Source: 5, Round: injRound}},
+	}
+	res, err := radio.Run(radio.Config{
+		Net: net, Algorithm: gossip.TDM{}, Spec: spec, Seed: 9, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("gossip with injection unsolved: %+v", res)
+	}
+	if want := []int{0, injRound}; !reflect.DeepEqual(res.RumorStartAt, want) {
+		t.Fatalf("RumorStartAt = %v, want %v", res.RumorStartAt, want)
+	}
+	if res.RumorAt[5][1] != injRound {
+		t.Fatalf("injected origin stamped at %d, want %d", res.RumorAt[5][1], injRound)
+	}
+	done := -1
+	for u := range res.RumorAt {
+		at := res.RumorAt[u][1]
+		if u != 5 && at != -1 && at <= injRound {
+			t.Fatalf("node %d held the injected rumor at round %d, before injection round %d", u, at, injRound)
+		}
+		if at > done {
+			done = at
+		}
+	}
+	if res.RumorDoneAt[1] != done {
+		t.Fatalf("RumorDoneAt[1] = %d, want max stamp %d", res.RumorDoneAt[1], done)
+	}
+	if res.RumorDoneAt[0] < 0 || res.RumorDoneAt[0] > res.Rounds {
+		t.Fatalf("RumorDoneAt[0] = %d out of range", res.RumorDoneAt[0])
+	}
+}
+
+// TestGossipInjectionRejectsOverlap checks the one-rumor-per-node rule.
+func TestGossipInjectionRejectsOverlap(t *testing.T) {
+	net := graph.UniformDual(graph.Clique(6))
+	for _, spec := range []radio.Spec{
+		{Problem: radio.Gossip, Sources: []graph.NodeID{0},
+			Injections: []radio.Injection{{Source: 0, Round: 4}}},
+		{Problem: radio.Gossip, Sources: []graph.NodeID{0},
+			Injections: []radio.Injection{{Source: 2, Round: 4}, {Source: 2, Round: 9}}},
+		{Problem: radio.Gossip, Sources: []graph.NodeID{0},
+			Injections: []radio.Injection{{Source: 1, Round: -3}}},
+	} {
+		if _, err := radio.Run(radio.Config{Net: net, Algorithm: gossip.TDM{}, Spec: spec, Seed: 1}); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+}

@@ -129,25 +129,43 @@ type gossipMonitor struct {
 // Θ(n·k) round-stamp matrix is rows over one flat backing array resized in
 // place on reuse, and the source index is the scratch's round-stamp slice
 // repurposed as a node → rumor lookup (the gossip monitor is the only
-// monitor of its engine, so the slice is free). Valid only until the owning
-// engine releases its scratch.
-func newGossipMonitor(n int, sources []graph.NodeID, sc *scratch) (*gossipMonitor, error) {
-	if len(sources) == 0 {
+// monitor of its engine, so the slice is free). Injected rumors
+// (spec.Injections) count toward k; each injected origin is pre-stamped at
+// its injection round — no other node can hold the rumor earlier, because
+// nothing transmits it before the origin activates. Valid only until the
+// owning engine releases its scratch.
+func newGossipMonitor(n int, spec Spec, sc *scratch) (*gossipMonitor, error) {
+	sources := spec.Sources
+	if len(sources) == 0 && len(spec.Injections) == 0 {
 		return nil, fmt.Errorf("radio: gossip requires at least one source")
 	}
 	m := &sc.gossipMon
-	*m = gossipMonitor{k: len(sources), srcOf: sc.monInts}
+	*m = gossipMonitor{k: spec.NumRumors(), srcOf: sc.monInts}
 	for i := range m.srcOf {
 		m.srcOf[i] = -1
 	}
-	for i, s := range sources {
+	index := func(s graph.NodeID, i int) error {
 		if s < 0 || s >= n {
-			return nil, fmt.Errorf("radio: gossip source %d out of range [0,%d)", s, n)
+			return fmt.Errorf("radio: gossip source %d out of range [0,%d)", s, n)
 		}
 		if m.srcOf[s] != -1 {
-			return nil, fmt.Errorf("radio: duplicate gossip source %d", s)
+			return fmt.Errorf("radio: duplicate gossip source %d", s)
 		}
 		m.srcOf[s] = i
+		return nil
+	}
+	for i, s := range sources {
+		if err := index(s, i); err != nil {
+			return nil, err
+		}
+	}
+	for j, inj := range spec.Injections {
+		if inj.Round < 0 {
+			return nil, fmt.Errorf("radio: injection %d has negative round %d", j, inj.Round)
+		}
+		if err := index(inj.Source, len(sources)+j); err != nil {
+			return nil, err
+		}
 	}
 	k := m.k
 	m.haveAt = sc.rumor(n, k)
@@ -159,6 +177,9 @@ func newGossipMonitor(n int, sources []graph.NodeID, sc *scratch) (*gossipMonito
 	}
 	for i, s := range sources {
 		m.haveAt[s][i] = 0
+	}
+	for j, inj := range spec.Injections {
+		m.haveAt[inj.Source][len(sources)+j] = inj.Round
 	}
 	m.remaining = n*k - k
 	return m, nil

@@ -57,7 +57,28 @@ type Spec struct {
 	Broadcasters []graph.NodeID
 	// Sources are the rumor origins for Gossip.
 	Sources []graph.NodeID
+	// Injections are additional Gossip rumors entering the system
+	// mid-execution: rumor len(Sources)+j originates at Injections[j].Source
+	// in round Injections[j].Round. The schedule is part of the problem
+	// instance — algorithms may read it (injection-aware algorithms activate
+	// the origin at its round), and the engine's gossip monitor counts every
+	// injected rumor toward completion. A node may originate at most one
+	// rumor: injection sources must be disjoint from Sources and from each
+	// other. Only valid for Gossip.
+	Injections []Injection
 }
+
+// Injection schedules one rumor's mid-execution entry for Gossip: Source
+// learns (and starts disseminating) a fresh rumor at the start of Round.
+// Round 0 is equivalent to listing the node in Spec.Sources.
+type Injection struct {
+	Source graph.NodeID
+	Round  int
+}
+
+// NumRumors returns the total rumor count of a Gossip spec: initial sources
+// plus scheduled injections.
+func (s Spec) NumRumors() int { return len(s.Sources) + len(s.Injections) }
 
 // Message is a transmitted frame. Messages are treated as opaque values by
 // the engine; only Origin is inspected (by the problem monitors).

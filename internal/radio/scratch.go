@@ -72,6 +72,7 @@ type scratch struct {
 	arenaSrc   graph.NodeID
 	arenaB     []graph.NodeID
 	arenaS     []graph.NodeID
+	arenaInj   []Injection
 
 	// recorder delivery buffer, reused each round; handed to Recorder.Record
 	// and valid only during the call.
@@ -161,7 +162,8 @@ func (s *scratch) arenaMatch(cfg Config, n int) []Process {
 		s.arenaNet != cfg.Net || s.arenaAlg != cfg.Algorithm.Name() ||
 		s.arenaProb != cfg.Spec.Problem || s.arenaSrc != cfg.Spec.Source ||
 		!slices.Equal(s.arenaB, cfg.Spec.Broadcasters) ||
-		!slices.Equal(s.arenaS, cfg.Spec.Sources) {
+		!slices.Equal(s.arenaS, cfg.Spec.Sources) ||
+		!slices.Equal(s.arenaInj, cfg.Spec.Injections) {
 		return nil
 	}
 	return s.arenaProcs
@@ -177,6 +179,7 @@ func (s *scratch) arenaStore(cfg Config, procs []Process) {
 	s.arenaSrc = cfg.Spec.Source
 	s.arenaB = append(s.arenaB[:0], cfg.Spec.Broadcasters...)
 	s.arenaS = append(s.arenaS[:0], cfg.Spec.Sources...)
+	s.arenaInj = append(s.arenaInj[:0], cfg.Spec.Injections...)
 }
 
 // arenaDrop discards the slab (a reset attempt failed; it may be

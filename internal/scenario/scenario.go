@@ -1,0 +1,260 @@
+// Package scenario describes epoch-driven workloads for the dual graph
+// engine: a timeline of topology revisions (node churn, edge churn) plus
+// staggered rumor injections for multi-message contention, generated
+// deterministically from a seed.
+//
+// A Scenario is pure description — churn op lists per epoch, injection
+// schedule — decoupled from any execution. Compile materializes it into the
+// engine's inputs: one immutable graph revision per epoch (built through
+// graph.Revision, so every zero-copy CSR contract holds per epoch) and a
+// radio epoch schedule. Experiments compile once per sweep point and share
+// the compiled revisions across every trial, which keeps the per-trial
+// allocation profile identical to the static path (covers memoize per
+// revision, the process arena keys off the epoch-0 network).
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// Epoch is one churn step of a scenario: at round Start, Ops are applied to
+// the previous epoch's topology.
+type Epoch struct {
+	// Start is the first round under the churned topology; must be positive
+	// and strictly increasing across the scenario's epochs.
+	Start int
+	// Ops is the deterministic churn op list, applied in order.
+	Ops []graph.ChurnOp
+}
+
+// Scenario is a deterministic timeline over a base network: topology churn
+// epochs plus rumor injections. The zero value of Epochs/Injections means a
+// static single-topology execution.
+type Scenario struct {
+	// Base is the epoch-0 network.
+	Base *graph.Dual
+	// Epochs are the churn steps, in increasing Start order.
+	Epochs []Epoch
+	// Injections is the multi-message contention schedule, handed to
+	// radio.Spec.Injections for gossip workloads.
+	Injections []radio.Injection
+}
+
+// Compile materializes the scenario into a radio epoch schedule: revision 0
+// is the base, and each scenario epoch derives the next immutable revision
+// through graph.Revision. The result is safe to share across trials.
+func (s Scenario) Compile() ([]radio.Epoch, error) {
+	if s.Base == nil {
+		return nil, fmt.Errorf("scenario: nil base network")
+	}
+	epochs := make([]radio.Epoch, 0, len(s.Epochs)+1)
+	epochs = append(epochs, radio.Epoch{Start: 0, Net: s.Base})
+	rv := graph.NewRevision(s.Base)
+	last := 0
+	for i, ep := range s.Epochs {
+		if ep.Start <= last {
+			return nil, fmt.Errorf("scenario: epoch %d starts at round %d, not after %d", i, ep.Start, last)
+		}
+		last = ep.Start
+		var err error
+		if rv, err = rv.Apply(ep.Ops); err != nil {
+			return nil, fmt.Errorf("scenario: epoch %d: %w", i, err)
+		}
+		epochs = append(epochs, radio.Epoch{Start: ep.Start, Net: rv.Dual()})
+	}
+	return epochs, nil
+}
+
+// GenConfig parameterizes deterministic scenario generation.
+type GenConfig struct {
+	// Epochs is the number of churn epochs (beyond the initial topology). A
+	// final healing epoch is appended after them, so the compiled schedule
+	// has Epochs+2 topologies.
+	Epochs int
+	// EpochLen is the number of rounds between epoch starts; the first churn
+	// epoch begins at round EpochLen.
+	EpochLen int
+	// Leaves is the number of nodes taken offline per churn epoch; each
+	// rejoins at the next epoch (or in the healing epoch).
+	Leaves int
+	// Demotions is the number of reliable G edges demoted to E'\E per churn
+	// epoch; each is restored at the next epoch, so reliability dips are
+	// transient, mirroring the leave/rejoin pattern.
+	Demotions int
+	// ExtraFlips is the number of unreliable E'\E edges removed and the
+	// number of fresh unreliable pairs added per churn epoch. These persist:
+	// the adversary-controlled fringe drifts over the scenario's lifetime.
+	ExtraFlips int
+	// Protected nodes never leave (problem sources and injection origins, so
+	// a scheduled origin is online when its rumor activates).
+	Protected []graph.NodeID
+	// InjectSources, when non-empty, schedules one extra rumor per listed
+	// node, staggered across epoch starts: rumor j activates when churn
+	// epoch (j mod max(Epochs,1))+1 begins. Sources here are implicitly
+	// protected.
+	InjectSources []graph.NodeID
+}
+
+// Generate draws a deterministic scenario from the source: the same base,
+// source state, and config always produce the same timeline. Node and edge
+// choices are sampled from the evolving topology itself (a node that left
+// cannot lose an edge it no longer has), so generation walks the revision
+// chain as it emits ops.
+func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, error) {
+	if base == nil {
+		return Scenario{}, fmt.Errorf("scenario: nil base network")
+	}
+	if cfg.Epochs < 0 || cfg.EpochLen <= 0 {
+		return Scenario{}, fmt.Errorf("scenario: need EpochLen > 0 (got %d) and Epochs >= 0 (got %d)", cfg.EpochLen, cfg.Epochs)
+	}
+	n := base.N()
+	protected := make([]bool, n)
+	for _, u := range cfg.Protected {
+		if u < 0 || u >= n {
+			return Scenario{}, fmt.Errorf("scenario: protected node %d out of range [0,%d)", u, n)
+		}
+		protected[u] = true
+	}
+	for _, u := range cfg.InjectSources {
+		if u < 0 || u >= n {
+			return Scenario{}, fmt.Errorf("scenario: injection source %d out of range [0,%d)", u, n)
+		}
+		protected[u] = true
+	}
+
+	sc := Scenario{Base: base}
+	rv := graph.NewRevision(base)
+	var pendingJoins []graph.NodeID   // nodes that left last epoch
+	var pendingRestores []graph.ChurnOp // demoted G edges to re-add
+
+	for e := 1; e <= cfg.Epochs; e++ {
+		var ops []graph.ChurnOp
+		// Heal last epoch's churn first, so departures and demotions last
+		// exactly one epoch.
+		for _, u := range pendingJoins {
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnJoin, U: u})
+		}
+		pendingJoins = nil
+		ops = append(ops, pendingRestores...)
+		pendingRestores = nil
+
+		d := rv.Dual()
+		// Node churn: sample distinct present, unprotected nodes.
+		for picked, attempts := 0, 0; picked < cfg.Leaves && attempts < 16*n; attempts++ {
+			u := src.Intn(n)
+			if protected[u] || rv.Departed(u) || containsNode(pendingJoins, u) {
+				continue
+			}
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnLeave, U: u})
+			pendingJoins = append(pendingJoins, u)
+			picked++
+		}
+		// Reliability churn: demote sampled G edges for one epoch.
+		gEdges := collectEdges(d.G(), nil)
+		for i := 0; i < cfg.Demotions && len(gEdges) > 0; i++ {
+			j := src.Intn(len(gEdges))
+			u, v := gEdges[j][0], gEdges[j][1]
+			gEdges[j] = gEdges[len(gEdges)-1]
+			gEdges = gEdges[:len(gEdges)-1]
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnRemoveEdge, U: u, V: v})
+			pendingRestores = append(pendingRestores, graph.ChurnOp{Kind: graph.ChurnAddEdge, U: u, V: v})
+		}
+		// Fringe drift: remove sampled unreliable edges, add fresh pairs.
+		exEdges := collectExtra(d)
+		for i := 0; i < cfg.ExtraFlips && len(exEdges) > 0; i++ {
+			j := src.Intn(len(exEdges))
+			u, v := exEdges[j][0], exEdges[j][1]
+			exEdges[j] = exEdges[len(exEdges)-1]
+			exEdges = exEdges[:len(exEdges)-1]
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnRemoveExtraEdge, U: u, V: v})
+		}
+		added := map[[2]graph.NodeID]bool{}
+		for i, attempts := 0, 0; i < cfg.ExtraFlips && attempts < 16*n; attempts++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u > v {
+				u, v = v, u
+			}
+			// Skip pairs that would be set no-ops (already drawn this epoch,
+			// already in G') and pairs Apply would ignore (an endpoint is
+			// departing this epoch, or still departed from an earlier one),
+			// so the epoch really gains ExtraFlips fresh unreliable edges.
+			if u == v || added[[2]graph.NodeID{u, v}] || d.GPrime().HasEdge(u, v) ||
+				containsNode(pendingJoins, u) || containsNode(pendingJoins, v) ||
+				rv.Departed(u) || rv.Departed(v) {
+				continue
+			}
+			added[[2]graph.NodeID{u, v}] = true
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnAddExtraEdge, U: u, V: v})
+			i++
+		}
+
+		next, err := rv.Apply(ops)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario: generating epoch %d: %w", e, err)
+		}
+		rv = next
+		sc.Epochs = append(sc.Epochs, Epoch{Start: e * cfg.EpochLen, Ops: ops})
+	}
+
+	// Healing epoch: everyone rejoins, every outstanding demotion is
+	// restored, so the problem stays solvable after the churn window.
+	if cfg.Epochs > 0 {
+		var heal []graph.ChurnOp
+		for _, u := range pendingJoins {
+			heal = append(heal, graph.ChurnOp{Kind: graph.ChurnJoin, U: u})
+		}
+		heal = append(heal, pendingRestores...)
+		sc.Epochs = append(sc.Epochs, Epoch{Start: (cfg.Epochs + 1) * cfg.EpochLen, Ops: heal})
+	}
+
+	// Staggered injections: rumor j enters when churn epoch (j mod E)+1
+	// begins, spreading contention across the timeline.
+	cycle := cfg.Epochs
+	if cycle < 1 {
+		cycle = 1
+	}
+	for j, u := range cfg.InjectSources {
+		sc.Injections = append(sc.Injections, radio.Injection{
+			Source: u,
+			Round:  (1 + j%cycle) * cfg.EpochLen,
+		})
+	}
+	return sc, nil
+}
+
+func containsNode(xs []graph.NodeID, u graph.NodeID) bool {
+	for _, x := range xs {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+// collectEdges lists a graph's undirected edges, optionally filtered.
+func collectEdges(g *graph.Graph, keep func(u, v graph.NodeID) bool) [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v graph.NodeID) {
+		if keep == nil || keep(u, v) {
+			out = append(out, [2]graph.NodeID{u, v})
+		}
+	})
+	return out
+}
+
+// collectExtra lists a dual's E'\E edges with u < v.
+func collectExtra(d *graph.Dual) [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, d.NumExtraEdges())
+	for u := 0; u < d.N(); u++ {
+		for _, v := range d.ExtraNeighbors(u) {
+			if u < v {
+				out = append(out, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func genCfg() GenConfig {
+	return GenConfig{
+		Epochs:        3,
+		EpochLen:      50,
+		Leaves:        2,
+		Demotions:     2,
+		ExtraFlips:    2,
+		Protected:     []graph.NodeID{0},
+		InjectSources: []graph.NodeID{5, 9},
+	}
+}
+
+func baseNet(t testing.TB) *graph.Dual {
+	t.Helper()
+	d := graph.GeographicGrid(bitrand.New(3), 5, 5, 0.8, 1.6)
+	if !graph.Connected(d.G()) {
+		t.Fatal("base grid disconnected")
+	}
+	return d
+}
+
+// TestGenerateDeterministic requires identical scenarios from identical
+// seeds, and different ones from different seeds.
+func TestGenerateDeterministic(t *testing.T) {
+	net := baseNet(t)
+	a, err := Generate(net, bitrand.New(42), genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, bitrand.New(42), genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Epochs, b.Epochs) || !reflect.DeepEqual(a.Injections, b.Injections) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	c, err := Generate(net, bitrand.New(43), genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Epochs, c.Epochs) {
+		t.Fatal("different seeds produced identical churn (suspicious)")
+	}
+}
+
+// TestGenerateShape checks the timeline structure: epoch starts on the
+// EpochLen grid including the healing epoch, protected nodes never leave,
+// injections staggered onto churn-epoch starts.
+func TestGenerateShape(t *testing.T) {
+	cfg := genCfg()
+	sc, err := Generate(baseNet(t), bitrand.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Epochs + 1; len(sc.Epochs) != want {
+		t.Fatalf("got %d epochs, want %d (churn + healing)", len(sc.Epochs), want)
+	}
+	for i, ep := range sc.Epochs {
+		if ep.Start != (i+1)*cfg.EpochLen {
+			t.Fatalf("epoch %d starts at %d, want %d", i, ep.Start, (i+1)*cfg.EpochLen)
+		}
+		for _, op := range ep.Ops {
+			if op.Kind == graph.ChurnLeave {
+				for _, p := range append(cfg.Protected, cfg.InjectSources...) {
+					if op.U == p {
+						t.Fatalf("protected node %d left in epoch %d", p, i)
+					}
+				}
+			}
+		}
+	}
+	if len(sc.Injections) != len(cfg.InjectSources) {
+		t.Fatalf("got %d injections, want %d", len(sc.Injections), len(cfg.InjectSources))
+	}
+	for j, inj := range sc.Injections {
+		if inj.Round%cfg.EpochLen != 0 || inj.Round <= 0 || inj.Round > cfg.Epochs*cfg.EpochLen {
+			t.Fatalf("injection %d at round %d is off the churn-epoch grid", j, inj.Round)
+		}
+	}
+}
+
+// TestCompileHeals compiles a generated scenario and checks that the final
+// (healing) revision restores the base reliable graph exactly: every leave
+// rejoined, every demotion restored.
+func TestCompileHeals(t *testing.T) {
+	net := baseNet(t)
+	sc, err := Generate(net, bitrand.New(11), genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != len(sc.Epochs)+1 {
+		t.Fatalf("compiled %d radio epochs for %d scenario epochs", len(epochs), len(sc.Epochs))
+	}
+	if epochs[0].Net != net || epochs[0].Start != 0 {
+		t.Fatal("epoch 0 is not the base network at round 0")
+	}
+	final := epochs[len(epochs)-1].Net.G()
+	if final.NumEdges() != net.G().NumEdges() {
+		t.Fatalf("healed G has %d edges, base has %d", final.NumEdges(), net.G().NumEdges())
+	}
+	net.G().ForEachEdge(func(u, v graph.NodeID) {
+		if !final.HasEdge(u, v) {
+			t.Fatalf("healed G lost base edge (%d,%d)", u, v)
+		}
+	})
+	// Middle epochs must actually differ from the base (churn happened).
+	changed := false
+	for _, ep := range epochs[1 : len(epochs)-1] {
+		if ep.Net.G().NumEdges() != net.G().NumEdges() {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("no epoch changed the reliable graph; generator produced a static scenario")
+	}
+}
+
+// TestCompileRejectsBadTimeline checks start-order validation.
+func TestCompileRejectsBadTimeline(t *testing.T) {
+	net := baseNet(t)
+	for _, epochs := range [][]Epoch{
+		{{Start: 0}},
+		{{Start: 10}, {Start: 10}},
+		{{Start: 20}, {Start: 10}},
+	} {
+		if _, err := (Scenario{Base: net, Epochs: epochs}).Compile(); err == nil {
+			t.Errorf("timeline %+v accepted, want error", epochs)
+		}
+	}
+	if _, err := (Scenario{}).Compile(); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+// TestScenarioEndToEnd runs TDM gossip under a generated churn + injection
+// scenario through the engine and requires completion: rumors survive
+// departures, rejoins, demotions, and mid-run contention.
+func TestScenarioEndToEnd(t *testing.T) {
+	net := baseNet(t)
+	cfg := genCfg()
+	sc, err := Generate(net, bitrand.New(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := radio.Run(radio.Config{
+		Epochs:    epochs,
+		Algorithm: gossip.TDM{},
+		Spec: radio.Spec{
+			Problem:    radio.Gossip,
+			Sources:    []graph.NodeID{0},
+			Injections: sc.Injections,
+		},
+		Seed:      5,
+		MaxRounds: 400 * net.N(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("churn scenario unsolved in %d rounds", res.Rounds)
+	}
+	for i, done := range res.RumorDoneAt {
+		if done < res.RumorStartAt[i] {
+			t.Fatalf("rumor %d done at %d before start %d", i, done, res.RumorStartAt[i])
+		}
+	}
+	// A departed node cannot receive while offline: re-run is deterministic,
+	// so simply sanity-check the run against a static execution at the same
+	// seed differing somewhere (the schedule must have had an effect).
+	static, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: gossip.TDM{},
+		Spec: radio.Spec{
+			Problem:    radio.Gossip,
+			Sources:    []graph.NodeID{0},
+			Injections: sc.Injections,
+		},
+		Seed:      5,
+		MaxRounds: 400 * net.N(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res, static) {
+		t.Fatal("churn schedule produced a byte-identical execution to the static network (swap had no effect)")
+	}
+}

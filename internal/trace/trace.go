@@ -24,7 +24,10 @@ type ProgressCurve struct {
 }
 
 // ProgressFromResult builds the curve from a Result: InformedAt for global
-// broadcast, ReceiverDoneAt for local. The curve has res.Rounds entries.
+// broadcast, ReceiverDoneAt for local, and for gossip the flattened RumorAt
+// matrix — each (node, rumor) acquisition counts as one completion, so the
+// curve tracks n·k total units under contention. The curve has res.Rounds
+// entries.
 func ProgressFromResult(res radio.Result) ProgressCurve {
 	at := res.InformedAt
 	if at == nil {
@@ -36,13 +39,23 @@ func ProgressFromResult(res radio.Result) ProgressCurve {
 	}
 	counts := make([]int, rounds)
 	total := 0
-	for _, r := range at {
+	mark := func(r int) {
 		if r < 0 {
-			continue
+			return
 		}
 		total++
 		if r < rounds {
 			counts[r]++
+		}
+	}
+	for _, r := range at {
+		mark(r)
+	}
+	if at == nil {
+		for _, row := range res.RumorAt {
+			for _, r := range row {
+				mark(r)
+			}
 		}
 	}
 	for i := 1; i < rounds; i++ {

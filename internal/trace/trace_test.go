@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/bitrand"
+	"repro/internal/gossip"
 	"repro/internal/graph"
 	"repro/internal/radio"
 )
@@ -121,6 +123,156 @@ func TestCSVOutputs(t *testing.T) {
 	pcsv := ProgressCSV(ProgressFromResult(res))
 	if !strings.HasPrefix(pcsv, "round,completed\n") {
 		t.Fatal("progress csv header")
+	}
+}
+
+// TestProgressFromResultGossip covers the RumorAt path: each (node, rumor)
+// acquisition is one completion unit, so a 3-node 2-rumor matrix counts to
+// n·k = 6.
+func TestProgressFromResultGossip(t *testing.T) {
+	res := radio.Result{
+		Rounds: 4,
+		RumorAt: [][]int{
+			{0, 2},  // node 0: source of rumor 0, learns rumor 1 at round 2
+			{1, 0},  // node 1: learns rumor 0 at round 1, source of rumor 1
+			{3, -1}, // node 2: learns rumor 0 late, never learns rumor 1
+		},
+	}
+	p := ProgressFromResult(res)
+	if p.Total != 5 {
+		t.Fatalf("total = %d, want 5", p.Total)
+	}
+	want := []int{2, 3, 4, 5}
+	for i, w := range want {
+		if p.Counts[i] != w {
+			t.Fatalf("Counts[%d] = %d, want %d", i, p.Counts[i], w)
+		}
+	}
+	if got := p.TimeToFraction(1.0); got != 3 {
+		t.Fatalf("TimeToFraction(1.0) = %d, want 3", got)
+	}
+}
+
+// realGossipTrace records a TDM k-rumor run (the RumorAt problem) under the
+// i.i.d. adversary, so the trace carries partial selector rounds.
+func realGossipTrace(t *testing.T) (*radio.MemRecorder, radio.Result) {
+	t.Helper()
+	rec := &radio.MemRecorder{}
+	net := graph.UniformDual(graph.Grid(4, 4))
+	res, err := radio.Run(radio.Config{
+		Net:       net,
+		Algorithm: gossip.TDM{},
+		Spec:      radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0, 15}},
+		Link:      adversary.RandomLoss{P: 0.5},
+		Seed:      3,
+		Recorder:  rec,
+		MaxRounds: 400 * net.N(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.RumorAt == nil {
+		t.Fatalf("gossip run unusable: solved=%v", res.Solved)
+	}
+	return rec, res
+}
+
+// TestAnalyzeChannelOnGossip cross-checks ChannelStats against the engine's
+// own counters on a recorded k-rumor run, and requires the round taxonomy to
+// tile the execution exactly.
+func TestAnalyzeChannelOnGossip(t *testing.T) {
+	rec, res := realGossipTrace(t)
+	cs := AnalyzeChannel(rec)
+	if cs.Rounds != res.Rounds {
+		t.Fatalf("rounds %d != %d", cs.Rounds, res.Rounds)
+	}
+	if int64(cs.Transmissions) != res.Transmissions {
+		t.Fatalf("transmissions %d != %d", cs.Transmissions, res.Transmissions)
+	}
+	if int64(cs.Deliveries) != res.Deliveries {
+		t.Fatalf("deliveries %d != %d", cs.Deliveries, res.Deliveries)
+	}
+	if cs.DenseLinkRounds+cs.SparseLinkRounds+cs.PartialLinkRounds != cs.Rounds {
+		t.Fatalf("selector taxonomy does not tile: %+v", cs)
+	}
+	if cs.PartialLinkRounds != cs.Rounds {
+		t.Fatalf("RandomLoss{0.5} commits per-edge selectors; want every round partial, got %+v", cs)
+	}
+	if cs.MaxTransmitters < 1 || cs.MaxTransmitters > 16 {
+		t.Fatalf("MaxTransmitters = %d out of range", cs.MaxTransmitters)
+	}
+	if u := cs.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+// TestPerNodeActivityGossip checks the per-node tallies of a k-rumor trace:
+// both origins transmit, every node of the solved run received something,
+// and the tallies reconcile with the channel totals.
+func TestPerNodeActivityGossip(t *testing.T) {
+	rec, res := realGossipTrace(t)
+	acts := PerNodeActivity(rec)
+	if len(acts) != 16 {
+		t.Fatalf("%d active nodes, want all 16 of a solved gossip run", len(acts))
+	}
+	totTx, totRx := 0, 0
+	byNode := map[int]NodeActivity{}
+	for _, a := range acts {
+		totTx += a.Transmissions
+		totRx += a.Receptions
+		byNode[a.Node] = a
+	}
+	if int64(totTx) != res.Transmissions || int64(totRx) != res.Deliveries {
+		t.Fatalf("tallies (%d tx, %d rx) disagree with result (%d, %d)",
+			totTx, totRx, res.Transmissions, res.Deliveries)
+	}
+	for _, src := range []int{0, 15} {
+		if byNode[src].Transmissions == 0 {
+			t.Fatalf("origin %d never transmitted", src)
+		}
+	}
+	for u, a := range byNode {
+		if u != 0 && u != 15 && a.Receptions == 0 {
+			t.Fatalf("non-origin node %d solved the run without receiving", u)
+		}
+	}
+}
+
+// TestCSVGolden pins the exact output shape of both CSV renderers on the
+// fully deterministic 3-node relay flood.
+func TestCSVGolden(t *testing.T) {
+	rec, res := realFloodTrace(t, 3)
+	wantCSV := "round,transmitters,deliveries,selector\n" +
+		"0,1,1,none\n" +
+		"1,2,1,none\n"
+	if got := CSV(rec); got != wantCSV {
+		t.Errorf("CSV:\n%q\nwant:\n%q", got, wantCSV)
+	}
+	wantProgress := "round,completed\n" +
+		"0,2\n" +
+		"1,3\n"
+	if got := ProgressCSV(ProgressFromResult(res)); got != wantProgress {
+		t.Errorf("ProgressCSV:\n%q\nwant:\n%q", got, wantProgress)
+	}
+}
+
+// TestGossipCSVShape checks the row counts of both CSVs on a recorded
+// k-rumor run: one row per recorded round, one per executed round.
+func TestGossipCSVShape(t *testing.T) {
+	rec, res := realGossipTrace(t)
+	csv := CSV(rec)
+	if !strings.HasPrefix(csv, "round,transmitters,deliveries,selector\n") {
+		t.Fatalf("csv header: %q", csv[:40])
+	}
+	if got := strings.Count(csv, "\n"); got != len(rec.Rounds)+1 {
+		t.Fatalf("csv has %d lines for %d rounds", got, len(rec.Rounds))
+	}
+	pcsv := ProgressCSV(ProgressFromResult(res))
+	if got := strings.Count(pcsv, "\n"); got != res.Rounds+1 {
+		t.Fatalf("progress csv has %d lines for %d rounds", got, res.Rounds)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(pcsv), ",32") {
+		t.Fatalf("progress csv must end at n·k = 32 completions:\n%s", pcsv)
 	}
 }
 
