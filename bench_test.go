@@ -106,6 +106,11 @@ func BenchmarkExtGossip(b *testing.B) { benchExperiment(b, "EXT-gossip") }
 // BenchmarkExtLeader regenerates the leader election extension study.
 func BenchmarkExtLeader(b *testing.B) { benchExperiment(b, "EXT-leader") }
 
+// BenchmarkAdvChurnWindow regenerates the churn-window adversary race:
+// static vs churn-blind vs churn-exploiting link processes under storm
+// epochs.
+func BenchmarkAdvChurnWindow(b *testing.B) { benchExperiment(b, "ADV-churnwindow") }
+
 // BenchmarkRegistrySharedPool runs the whole registry through one shared
 // worker pool (the `dgbench -all` path): every (experiment × sweep-point ×
 // trial) triple lands in one work queue, so ns/op tracks how the full quick

@@ -56,12 +56,21 @@ func TestBuildAdversary(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"none", "all", "randomloss", "densesparse", "jam", "presample"} {
-		if _, err := buildAdversary(name, 0.5, net); err != nil {
+		if _, err := buildAdversary(name, 0.5, net, nil); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := buildAdversary("nope", 0.5, net); err == nil {
+	if _, err := buildAdversary("nope", 0.5, net, nil); err == nil {
 		t.Fatal("unknown adversary accepted")
+	}
+	// The churn-window adversaries need a timeline's window mask.
+	for _, name := range []string{"churnwindow", "churnwindow-offline", "churnwindow-blind"} {
+		if _, err := buildAdversary(name, 0.5, net, nil); err == nil {
+			t.Fatalf("%s accepted without -scenario", name)
+		}
+		if _, err := buildAdversary(name, 0.5, net, []bool{false, true}); err != nil {
+			t.Fatalf("%s with windows: %v", name, err)
+		}
 	}
 }
 
@@ -84,5 +93,32 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-adversary", "nope"}); err == nil {
 		t.Fatal("bad adversary not rejected")
+	}
+	if err := run([]string{"-adversary", "churnwindow"}); err == nil {
+		t.Fatal("churnwindow without -scenario not rejected")
+	}
+	for _, spec := range []string{"epochs", "epochs=x", "nope=3", "len=0"} {
+		if err := run([]string{"-scenario", spec}); err == nil {
+			t.Fatalf("-scenario %q not rejected", spec)
+		}
+	}
+	// inject=K must fail loudly (not hang) when fewer than K nodes are free
+	// to originate a rumor.
+	if err := run([]string{
+		"-topology", "line", "-n", "4", "-problem", "gossip", "-alg", "gossip-tdm",
+		"-scenario", "epochs=2,len=8,inject=10",
+	}); err == nil {
+		t.Fatal("oversubscribed inject not rejected")
+	}
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	err := run([]string{
+		"-topology", "line", "-n", "16", "-alg", "decay-global",
+		"-scenario", "epochs=2,len=12,leaves=1,demotions=2,storms=8",
+		"-adversary", "churnwindow", "-max-rounds", "4000", "-trace", "-trace-max", "3",
+	})
+	if err != nil {
+		t.Fatalf("dgsim scenario run: %v", err)
 	}
 }

@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+)
+
+// BenchmarkChurnWindowTrial measures a full adversarial trial on the
+// ADV-churnwindow structure (two reliable cliques, storm epochs) in three
+// configurations: the static-topology online adversary (the allocation
+// baseline), the epoch-aware ChurnWindow classes with a precomputed window
+// mask, and the self-contained variant that derives the windows by comparing
+// topologies per round. The revisions are precompiled and shared across
+// trials exactly as the experiment harness shares them, so the tracked
+// number — allocs/op — must stay at the static adversarial path's count for
+// the precomputed-mask rows (BENCH_pr5.json).
+func BenchmarkChurnWindowTrial(b *testing.B) {
+	const n = 64
+	base := graph.TwoCliques(n)
+	sc, err := scenario.Generate(base, bitrand.New(3000+n), scenario.GenConfig{
+		Epochs:    10,
+		EpochLen:  2 * bitrand.LogN(n),
+		Demotions: 8,
+		Storms:    6 * n,
+		Protected: []graph.NodeID{0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	epochs, err := sc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wins := sc.DegradedWindows()
+
+	run := func(b *testing.B, static bool, link any) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := radio.Config{
+				Algorithm:        core.DecayGlobal{},
+				Spec:             radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+				Link:             link,
+				Seed:             uint64(i),
+				MaxRounds:        256,
+				IgnoreCompletion: true,
+			}
+			if static {
+				cfg.Net = base
+			} else {
+				cfg.Epochs = epochs
+			}
+			if _, err := radio.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("static/densesparse", func(b *testing.B) { run(b, true, DenseSparse{C: 1}) })
+	b.Run("epochs/churnwindow", func(b *testing.B) { run(b, false, ChurnWindow{Windows: wins, C: 1}) })
+	b.Run("epochs/churnwindow-offline", func(b *testing.B) { run(b, false, ChurnWindowOffline{Windows: wins}) })
+	b.Run("epochs/churnwindow-derived", func(b *testing.B) { run(b, false, ChurnWindow{C: 1}) })
+}

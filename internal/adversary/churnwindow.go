@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+)
+
+// ChurnWindow is the churn-exploiting adaptive adversary: it attacks only
+// while the topology is degraded, idling otherwise.
+//
+// Under an epoch schedule, node departures and edge demotions enlarge the
+// adversary-controlled set E'\E exactly for the duration of the degraded
+// epochs — a demoted link is a formerly reliable edge whose fate the link
+// process now decides, and on networks whose base fringe is small those
+// windows are the entire attack surface. Inside a degraded window the
+// adversary runs the Theorem 3.1 dense/sparse rule over that enlarged set:
+// rounds whose expected transmitter count exceeds C·ln n are smothered with
+// every unreliable edge (each demoted link becomes a collision vector into
+// the very neighborhoods that just lost reliability), and sparse rounds are
+// isolated, so the demoted links never deliver either way. Outside the
+// windows it selects nothing, which on a small fringe is indistinguishable
+// from no adversary at all.
+//
+// None of the static classes can express this attack: Static and RandomLoss
+// commit one round-independent rule, Presample labels rounds by sampled
+// density alone, and DenseSparse applies the same dense/sparse rule in every
+// epoch, paying for its smothering in healthy rounds where the controllable
+// set is small. ChurnWindow concentrates the identical machinery on the
+// rounds where the topology is weak — the ADV-churnwindow experiments
+// measure what that timing alone is worth.
+type ChurnWindow struct {
+	// Windows[i] marks compiled epoch i as a smother window; epochs past
+	// the end of the mask are treated as healthy. Precompute it from the
+	// scenario's degradation metadata (scenario.Scenario.DegradedWindows or
+	// scenario.DegradationOf) for the allocation-free hot path. When nil,
+	// the adversary derives the decision each round by comparing the live
+	// topology (View.Net) against the base (Env.Net) — self-contained but
+	// O(|E|) per round.
+	Windows []bool
+	// C scales the in-window dense threshold C·ln n (default 2), exactly
+	// DenseSparse's rule.
+	C float64
+	// Invert swaps the windows: smother while the topology is healthy, idle
+	// while it is degraded. This is the churn-blind control of the
+	// ADV-churnwindow experiments — the same machinery and duty rule,
+	// pointed at the wrong rounds.
+	Invert bool
+}
+
+var _ radio.OnlineAdaptiveLink = ChurnWindow{}
+
+// inWindow reports whether the round's epoch is one the adversary attacks.
+func (a ChurnWindow) inWindow(env *radio.Env, view *radio.View) bool {
+	var in bool
+	if a.Windows != nil {
+		in = view.EpochIdx < len(a.Windows) && a.Windows[view.EpochIdx]
+	} else {
+		in = scenario.DegradationBetween(env.Net, view.Net).Degraded()
+	}
+	return in != a.Invert
+}
+
+// ChooseOnline implements radio.OnlineAdaptiveLink.
+func (a ChurnWindow) ChooseOnline(env *radio.Env, view *radio.View) graph.EdgeSelector {
+	if !a.inWindow(env, view) {
+		return graph.SelectNone{}
+	}
+	if view.SumTransmitProbs() > (DenseSparse{C: a.C}).Threshold(env.Net.N()) {
+		return graph.SelectAll{}
+	}
+	return graph.SelectNone{}
+}
+
+// ChurnWindowOffline is the offline adaptive variant of ChurnWindow: inside
+// a degraded window it applies Jam's rule to the realized transmitter set —
+// two or more transmitters anywhere and every unreliable edge appears,
+// otherwise none — and outside the windows it idles. Window semantics
+// (Windows, the derived fallback, Invert) match ChurnWindow exactly.
+type ChurnWindowOffline struct {
+	// Windows, Invert: see ChurnWindow.
+	Windows []bool
+	Invert  bool
+}
+
+var _ radio.OfflineAdaptiveLink = ChurnWindowOffline{}
+
+// ChooseOffline implements radio.OfflineAdaptiveLink.
+func (a ChurnWindowOffline) ChooseOffline(env *radio.Env, view *radio.View, tx []graph.NodeID) graph.EdgeSelector {
+	if !(ChurnWindow{Windows: a.Windows, Invert: a.Invert}).inWindow(env, view) {
+		return graph.SelectNone{}
+	}
+	if len(tx) >= 2 {
+		return graph.SelectAll{}
+	}
+	return graph.SelectNone{}
+}

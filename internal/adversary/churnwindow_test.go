@@ -1,0 +1,171 @@
+package adversary
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+)
+
+// stormCliques builds the ADV-churnwindow structure at test scale:
+// graph.TwoCliques (G' = G, no standing fringe) plus a generated storm
+// scenario whose churn epochs are the only rounds with any E'\E at all.
+func stormCliques(t *testing.T, n, epochs, demotions, storms int) (*graph.Dual, []radio.Epoch, []bool) {
+	t.Helper()
+	base := graph.TwoCliques(n)
+	sc, err := scenario.Generate(base, bitrand.New(uint64(1000+n)), scenario.GenConfig{
+		Epochs:    epochs,
+		EpochLen:  2 * bitrand.LogN(n),
+		Demotions: demotions,
+		Storms:    storms,
+		Protected: []graph.NodeID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, eps, sc.DegradedWindows()
+}
+
+// denseView builds a view whose summed transmit probabilities clear any
+// reasonable dense threshold.
+func denseView(n, epochIdx int, net *graph.Dual) *radio.View {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 1
+	}
+	return &radio.View{EpochIdx: epochIdx, Net: net, TransmitProbs: probs}
+}
+
+func TestChurnWindowGatesOnEpoch(t *testing.T) {
+	base, eps, wins := stormCliques(t, 16, 3, 4, 32)
+	env := &radio.Env{Net: base, Epochs: eps, Rng: bitrand.New(1), MaxRounds: 1000}
+	aligned := ChurnWindow{Windows: wins, C: 1}
+	blind := ChurnWindow{Windows: wins, C: 1, Invert: true}
+
+	for idx, degraded := range wins {
+		view := denseView(16, idx, eps[idx].Net)
+		if got := aligned.ChooseOnline(env, view).All(); got != degraded {
+			t.Errorf("epoch %d (degraded=%v): aligned dense round selected all=%v", idx, degraded, got)
+		}
+		if got := blind.ChooseOnline(env, view).All(); got == degraded {
+			t.Errorf("epoch %d (degraded=%v): inverted dense round selected all=%v", idx, degraded, got)
+		}
+		// Sparse rounds always idle, window or not.
+		sparse := &radio.View{EpochIdx: idx, Net: eps[idx].Net, TransmitProbs: []float64{0.1}}
+		if !aligned.ChooseOnline(env, sparse).None() {
+			t.Errorf("epoch %d: aligned sparse round did not idle", idx)
+		}
+	}
+	// Epochs past the end of the mask count as healthy.
+	past := denseView(16, len(wins)+3, base)
+	if !aligned.ChooseOnline(env, past).None() {
+		t.Error("epoch past the window mask treated as degraded")
+	}
+}
+
+func TestChurnWindowOfflineGatesOnTransmitters(t *testing.T) {
+	base, eps, wins := stormCliques(t, 16, 3, 4, 32)
+	env := &radio.Env{Net: base, Epochs: eps, Rng: bitrand.New(1), MaxRounds: 1000}
+	link := ChurnWindowOffline{Windows: wins}
+	degradedIdx := -1
+	for i, w := range wins {
+		if w {
+			degradedIdx = i
+			break
+		}
+	}
+	view := &radio.View{EpochIdx: degradedIdx, Net: eps[degradedIdx].Net}
+	if !link.ChooseOffline(env, view, []graph.NodeID{1, 2}).All() {
+		t.Error("two transmitters in a degraded epoch not smothered")
+	}
+	if !link.ChooseOffline(env, view, []graph.NodeID{1}).None() {
+		t.Error("singleton round smothered (would hand the algorithm a delivery)")
+	}
+	healthy := &radio.View{EpochIdx: 0, Net: eps[0].Net}
+	if !link.ChooseOffline(env, healthy, []graph.NodeID{1, 2}).None() {
+		t.Error("healthy epoch smothered")
+	}
+}
+
+// TestChurnWindowDerivedWindowsMatchPrecomputed runs the same executions
+// with the metadata-precomputed window mask and with Windows nil (the
+// adversary derives degradation by comparing View.Net against Env.Net) and
+// requires identical results — the structural comparison is the mask.
+func TestChurnWindowDerivedWindowsMatchPrecomputed(t *testing.T) {
+	_, eps, wins := stormCliques(t, 24, 4, 6, 48)
+	run := func(link any, seed uint64) radio.Result {
+		res, err := radio.Run(radio.Config{
+			Epochs:    eps,
+			Algorithm: core.DecayGlobal{},
+			Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+			Link:      link,
+			Seed:      seed,
+			MaxRounds: 4000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		pre := run(ChurnWindow{Windows: wins, C: 1}, seed)
+		derived := run(ChurnWindow{C: 1}, seed)
+		if !reflect.DeepEqual(pre, derived) {
+			t.Fatalf("seed %d: derived-window run differs from precomputed-window run\npre:     %+v\nderived: %+v", seed, pre, derived)
+		}
+		preOff := run(ChurnWindowOffline{Windows: wins}, seed)
+		derivedOff := run(ChurnWindowOffline{}, seed)
+		if !reflect.DeepEqual(preOff, derivedOff) {
+			t.Fatalf("seed %d: offline derived-window run differs from precomputed", seed)
+		}
+	}
+}
+
+// TestChurnWindowSeparation is the churned-topology separation row: on a
+// base with G' = G and storm-epoch windows, the churn-blind control (same
+// machinery, inverted windows) is exactly as harmless as no adversary, while
+// the churn-aligned offline adversary strictly slows median completion at
+// the same seeds.
+func TestChurnWindowSeparation(t *testing.T) {
+	_, eps, wins := stormCliques(t, 32, 8, 8, 192)
+	med := func(link any) float64 {
+		var rounds []float64
+		for seed := uint64(1); seed <= 9; seed++ {
+			res, err := radio.Run(radio.Config{
+				Epochs:    eps,
+				Algorithm: core.DecayGlobal{},
+				Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+				Link:      link,
+				Seed:      seed,
+				MaxRounds: 12800,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Solved {
+				t.Fatalf("unsolved under %T", link)
+			}
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		sort.Float64s(rounds)
+		return rounds[len(rounds)/2]
+	}
+	none := med(nil)
+	blind := med(ChurnWindowOffline{Windows: wins, Invert: true})
+	aligned := med(ChurnWindowOffline{Windows: wins})
+	if blind != none {
+		t.Errorf("churn-blind adversary changed the median (%v vs %v); outside the windows E'\\E is empty, it must be inert", blind, none)
+	}
+	if aligned <= blind {
+		t.Errorf("churn-aligned adversary did not slow completion: aligned %v vs blind %v", aligned, blind)
+	}
+}

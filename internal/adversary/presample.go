@@ -27,6 +27,14 @@ import (
 // the runtime-generated shared bits decorrelate the real schedule from any
 // sample — exactly the paper's separation.
 //
+// Under an epoch schedule (Env.Epochs), the presimulations run under the
+// same schedule as the real execution: the schedule is fixed before round 1
+// and therefore public, so an oblivious adversary is entitled to it just as
+// it is to a static topology. The sampled transmitter counts — and hence
+// the committed dense/sparse labels — then reflect each epoch's topology,
+// not just epoch 0's (a swap that connects a previously isolated region
+// changes who can be informed, and with it every later count).
+//
 // Horizon caps the presimulation length; beyond it the schedule stays
 // sparse. On the bracelet network the natural horizon is the band length
 // (the validity window of the isolated broadcast functions); on the dual
@@ -127,17 +135,35 @@ func (a Presample) sampleOnce(env *radio.Env, horizon int, label uint64) []int {
 	// Fresh seed from the adversary's own committed randomness: independent
 	// of the real execution's coins, as obliviousness requires.
 	seed := env.Rng.Split(0x5a3b, label).Uint64()
-	_, err := radio.Run(radio.Config{
-		Net:              env.Net,
+	// The presimulation budget is the horizon, except that every scheduled
+	// rumor injection must still fall inside it (the engine rejects a spec
+	// whose injections can never enter); counts beyond the horizon are
+	// discarded by the caller either way.
+	budget := horizon
+	for _, inj := range env.Spec.Injections {
+		if inj.Round >= budget {
+			budget = inj.Round + 1
+		}
+	}
+	cfg := radio.Config{
 		Algorithm:        env.Algorithm,
 		Spec:             env.Spec,
 		Link:             nil, // sparse dynamics: reliable edges only
 		Seed:             seed,
-		MaxRounds:        horizon,
+		MaxRounds:        budget,
 		Recorder:         rec,
 		IgnoreCompletion: true, // labels must cover the whole horizon
 		UseCliqueCover:   true,
-	})
+	}
+	// Pre-simulate under the execution's own topology schedule: per-epoch
+	// transmitter counts, not epoch-0-only ones. Static runs keep the
+	// static path.
+	if len(env.Epochs) > 0 {
+		cfg.Epochs = env.Epochs
+	} else {
+		cfg.Net = env.Net
+	}
+	_, err := radio.Run(cfg)
 	if err != nil {
 		// A presimulation failure leaves the adversary without information;
 		// it degrades to the all-sparse schedule rather than aborting the

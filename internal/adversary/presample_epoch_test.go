@@ -1,0 +1,115 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// beaconProc transmits every round once informed (the source from round 0):
+// a deterministic algorithm whose per-round transmitter count is a pure
+// function of the topology, so the presample labels are predictable.
+type beaconProc struct {
+	informed bool
+	msg      radio.Message
+}
+
+func (p *beaconProc) Step(r int, rng *bitrand.Source) radio.Action {
+	if p.informed {
+		return radio.Transmit(&p.msg)
+	}
+	return radio.Listen()
+}
+
+func (p *beaconProc) Deliver(r int, msg *radio.Message) {
+	if msg != nil {
+		p.informed = true
+	}
+}
+
+type beaconAlg struct{}
+
+func (beaconAlg) Name() string { return "beacon" }
+
+func (beaconAlg) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Source) []radio.Process {
+	procs := make([]radio.Process, net.N())
+	for u := range procs {
+		p := &beaconProc{msg: radio.Message{Origin: spec.Source}}
+		if graph.NodeID(u) == spec.Source {
+			p.informed = true
+		}
+		procs[u] = p
+	}
+	return procs
+}
+
+// TestPresampleEpochAware pins the tentpole contract for the sampling
+// adversary: its presimulations run under the execution's epoch schedule, so
+// the committed labels reflect per-epoch topology, not epoch 0's.
+//
+// The network is a 3-node line whose 1–2 link exists only from round 8 (an
+// epoch swap). Under the beacon algorithm the transmitter count is exactly 2
+// forever on the epoch-0 topology (node 2 stays isolated: 0 informs 1, never
+// 2), but reaches 3 from round 9 under the schedule (the swap lets 1 inform
+// 2 at round 8). With the dense threshold between 2 and 3, an epoch-aware
+// presample commits dense (select-all) labels from round 9 on — labels an
+// epoch-0-only presimulation could never produce.
+func TestPresampleEpochAware(t *testing.T) {
+	b0 := graph.NewBuilder(3)
+	b0.AddEdge(0, 1)
+	net0 := graph.UniformDual(b0.Build())
+	rev, err := graph.NewRevision(net0).Apply([]graph.ChurnOp{{Kind: graph.ChurnAddEdge, U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := []radio.Epoch{{Start: 0, Net: net0}, {Start: 8, Net: rev.Dual()}}
+	link := Presample{C: 0.1, Floor: 2.5, Samples: 1, Horizon: 24}
+	rec := &radio.MemRecorder{}
+	_, err = radio.Run(radio.Config{
+		Epochs:           epochs,
+		Algorithm:        beaconAlg{},
+		Spec:             radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Link:             link,
+		Seed:             5,
+		MaxRounds:        24,
+		Recorder:         rec,
+		IgnoreCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rec.Rounds {
+		want := "none"
+		if r.Round >= 9 {
+			// Three transmitters from round 9 in every presample: dense.
+			want = "all"
+		}
+		if r.SelectorKind != want {
+			t.Fatalf("round %d: committed selector %q, want %q (labels must follow the epoch schedule)",
+				r.Round, r.SelectorKind, want)
+		}
+	}
+	// The control: the same adversary against the static epoch-0 network
+	// commits all-sparse (counts never exceed 2 < 2.5).
+	rec2 := &radio.MemRecorder{}
+	_, err = radio.Run(radio.Config{
+		Net:              net0,
+		Algorithm:        beaconAlg{},
+		Spec:             radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
+		Link:             link,
+		Seed:             5,
+		MaxRounds:        24,
+		Recorder:         rec2,
+		IgnoreCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rec2.Rounds {
+		if r.SelectorKind != "none" {
+			t.Fatalf("static run round %d: committed selector %q, want none", r.Round, r.SelectorKind)
+		}
+	}
+}

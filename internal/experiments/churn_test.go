@@ -14,7 +14,7 @@ func TestChurnFamilyWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite")
 	}
-	for _, id := range []string{"CHURN-broadcast", "CHURN-gossip", "EXT-contention"} {
+	for _, id := range []string{"ADV-churnwindow", "CHURN-broadcast", "CHURN-gossip", "EXT-contention"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -9,6 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ABL-permutation",
 		"ABL-seeds",
+		"ADV-churnwindow",
 		"CHURN-broadcast",
 		"CHURN-gossip",
 		"EXT-contention",

@@ -10,11 +10,12 @@ import (
 )
 
 // shardTestExps picks one point-based engine experiment, both tasks-based
-// lemma checks, and the scenario-layer family (epoch churn and raw-task
-// contention), covering every task flavor the scheduler shards.
+// lemma checks, and the scenario-layer families (epoch churn, raw-task
+// contention, and the churn-window adversary race), covering every task
+// flavor the scheduler shards.
 func shardTestExps(t testing.TB) []Experiment {
 	t.Helper()
-	ids := []string{"CHURN-gossip", "EXT-contention", "F1-static-local", "L3.2-hitting", "L4.2-permdecay"}
+	ids := []string{"ADV-churnwindow", "CHURN-gossip", "EXT-contention", "F1-static-local", "L3.2-hitting", "L4.2-permdecay"}
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, ok := ByID(id)

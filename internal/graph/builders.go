@@ -107,6 +107,30 @@ func DualClique(n, t int) (*Dual, DualCliqueMarkers) {
 	return MustDual(g, gp), m
 }
 
+// TwoCliques builds the dual clique's reliable skeleton with no unreliable
+// fringe at all: two G-cliques A = {0..n/2-1} and B = {n/2..n-1} joined by
+// the single bridge (n/2-1, n/2), with G' = G (n ≥ 4, rounded down to
+// even). Because the base E'\E is empty, the only unreliable links that can
+// ever exist are the ones a churn scenario flares up — the structure the
+// ADV-churnwindow family attacks.
+func TwoCliques(n int) *Dual {
+	if n < 4 {
+		n = 4
+	}
+	n -= n % 2
+	half := n / 2
+	b := NewBuilder(n)
+	b.Grow(half*(half-1) + 1)
+	for i := 0; i < half; i++ {
+		for j := i + 1; j < half; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(half+i, half+j)
+		}
+	}
+	b.AddEdge(half-1, half)
+	return UniformDual(b.Build())
+}
+
 // BraceletMarkers identifies the structure of the bracelet network.
 type BraceletMarkers struct {
 	// Bands is the number of bands per side (√(n)/2 in the paper).

@@ -163,6 +163,119 @@ func TestRecorderCapturesRounds(t *testing.T) {
 	}
 }
 
+// epochViewOnline records, per round, which topology and epoch index the
+// adaptive view carried, and checks the Env contract: Net pinned to the
+// base, Epochs carrying the full schedule.
+type epochViewOnline struct {
+	t      *testing.T
+	epochs []Epoch
+	nets   []*graph.Dual
+}
+
+func (o *epochViewOnline) ChooseOnline(env *Env, view *View) graph.EdgeSelector {
+	if env.Net != o.epochs[0].Net {
+		o.t.Fatalf("round %d: Env.Net is not the epoch-0 base network", view.Round)
+	}
+	if len(env.Epochs) != len(o.epochs) || env.Epochs[0].Net != o.epochs[0].Net {
+		o.t.Fatalf("round %d: Env.Epochs does not carry the schedule", view.Round)
+	}
+	want := 0
+	for i, ep := range o.epochs {
+		if view.Round >= ep.Start {
+			want = i
+		}
+	}
+	if view.EpochIdx != want {
+		o.t.Fatalf("round %d: view.EpochIdx = %d, want %d", view.Round, view.EpochIdx, want)
+	}
+	if view.Net != o.epochs[want].Net {
+		o.t.Fatalf("round %d: view.Net is not epoch %d's network", view.Round, want)
+	}
+	o.nets = append(o.nets, view.Net)
+	return graph.SelectNone{}
+}
+
+// TestAdaptiveViewTracksEpochs pins the epoch-aware visibility contract for
+// adaptive links: a multi-epoch run hands them the post-swap network (and
+// epoch index) through the View every round, while Env.Net stays the base.
+func TestAdaptiveViewTracksEpochs(t *testing.T) {
+	net0 := lineDual(4)
+	rev, err := graph.NewRevision(net0).Apply([]graph.ChurnOp{{Kind: graph.ChurnRemoveEdge, U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := []Epoch{{Start: 0, Net: net0}, {Start: 5, Net: rev.Dual()}, {Start: 11, Net: net0}}
+	link := &epochViewOnline{t: t, epochs: epochs}
+	_, err = Run(Config{
+		Epochs:           epochs,
+		Algorithm:        coinAlg{p: 0.5},
+		Spec:             Spec{Problem: GlobalBroadcast, Source: 0},
+		Link:             link,
+		Seed:             7,
+		MaxRounds:        16,
+		IgnoreCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(link.nets) != 16 {
+		t.Fatalf("online adversary consulted %d times, want 16", len(link.nets))
+	}
+	// The observed topology must actually change at each swap boundary.
+	if link.nets[4] != net0 || link.nets[5] != rev.Dual() || link.nets[10] != rev.Dual() || link.nets[11] != net0 {
+		t.Fatal("view.Net did not track the swap boundaries")
+	}
+}
+
+// scheduleCheckOblivious asserts the oblivious side of the same boundary:
+// CommitSchedule runs once, before round 1, and already sees the full epoch
+// schedule in its Env — commitment against churn, not observation of it.
+type scheduleCheckOblivious struct {
+	t      *testing.T
+	epochs []Epoch
+	seen   bool
+}
+
+func (c *scheduleCheckOblivious) CommitSchedule(env *Env) Schedule {
+	c.seen = true
+	if len(env.Epochs) != len(c.epochs) {
+		c.t.Fatalf("CommitSchedule saw %d epochs, want %d", len(env.Epochs), len(c.epochs))
+	}
+	for i, ep := range env.Epochs {
+		if ep.Net != c.epochs[i].Net || ep.Start != c.epochs[i].Start {
+			c.t.Fatalf("CommitSchedule epoch %d differs from the configured schedule", i)
+		}
+	}
+	if env.Net != c.epochs[0].Net {
+		c.t.Fatal("CommitSchedule Env.Net is not the epoch-0 base")
+	}
+	return StaticSchedule{Selector: graph.SelectNone{}}
+}
+
+func TestObliviousCommitSeesSchedule(t *testing.T) {
+	net0 := lineDual(4)
+	rev, err := graph.NewRevision(net0).Apply([]graph.ChurnOp{{Kind: graph.ChurnAddEdge, U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := []Epoch{{Start: 0, Net: net0}, {Start: 4, Net: rev.Dual()}}
+	link := &scheduleCheckOblivious{t: t, epochs: epochs}
+	_, err = Run(Config{
+		Epochs:    epochs,
+		Algorithm: coinAlg{p: 0.5},
+		Spec:      Spec{Problem: GlobalBroadcast, Source: 0},
+		Link:      link,
+		Seed:      3,
+		MaxRounds: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !link.seen {
+		t.Fatal("oblivious adversary never committed")
+	}
+}
+
 // hashLink is an oblivious link process including each extra edge with
 // probability p, decided by a hash of (seed, round, edge) — deterministic
 // and committed by construction.

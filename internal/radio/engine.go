@@ -30,9 +30,16 @@ type Config struct {
 	// static Net: the execution starts on Epochs[0].Net and switches to each
 	// subsequent epoch's network at its Start round. A nil/single-epoch
 	// schedule is exactly the static path. Net may be left nil, or set to
-	// Epochs[0].Net (anything else is an error). Link processes commit
-	// against the initial topology (Env.Net = Epochs[0].Net); selector-based
-	// adversaries apply per round to whatever topology is current.
+	// Epochs[0].Net (anything else is an error).
+	//
+	// Adversary visibility contract: link processes commit against an Env
+	// whose Net is pinned to the base topology (Epochs[0].Net) for the whole
+	// execution and whose Epochs carries the full schedule, so oblivious
+	// adversaries can pre-commit against the same churn the execution will
+	// run under. Adaptive adversaries additionally observe the live
+	// topology each round through View.EpochIdx/View.Net, which swapEpoch
+	// keeps current; committed selectors apply per round to whatever
+	// topology is live.
 	Epochs []Epoch
 	// Algorithm constructs the per-node processes.
 	Algorithm Algorithm
@@ -131,6 +138,10 @@ type engine struct {
 	online    OnlineAdaptiveLink
 	offline   OfflineAdaptiveLink
 	env       *Env
+	// view is the per-round adaptive view, reused across rounds (the View
+	// contract makes it call-scoped), so adaptive trials allocate exactly
+	// what static trials do.
+	view View
 
 	accel *graph.CliqueCover
 
@@ -258,7 +269,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.mon = lm
 	case Gossip:
 		var gm *gossipMonitor
-		gm, err = newGossipMonitor(n, cfg.Spec, e.sc)
+		gm, err = newGossipMonitor(n, cfg.Spec, cfg.MaxRounds, e.sc)
 		e.mon = gm
 	default:
 		err = fmt.Errorf("unknown problem %v", cfg.Spec.Problem)
@@ -274,6 +285,7 @@ func newEngine(cfg Config) (*engine, error) {
 			Algorithm: cfg.Algorithm,
 			Rng:       e.master.Split(0xadf5),
 			MaxRounds: cfg.MaxRounds,
+			Epochs:    e.epochs,
 		}
 		switch link := cfg.Link.(type) {
 		case ObliviousLink:
@@ -355,7 +367,11 @@ func (e *engine) run() (Result, error) {
 // current network pointer and its hoisted CSR views change, and the clique
 // cover accelerator re-keys to the new revision (CliqueCoverOf memoizes per
 // graph, so repeated trials over one schedule share the covers). Process and
-// monitor state is untouched — nodes persist across topology churn.
+// monitor state is untouched — nodes persist across topology churn. The
+// adversary Env is deliberately untouched too: Env.Net stays pinned to the
+// epoch-0 base (its documented contract) while adaptive links track the
+// swap through View.EpochIdx/View.Net, which step rebuilds from e.epochIdx
+// and e.net every round.
 func (e *engine) swapEpoch() {
 	e.epochIdx++
 	net := e.epochs[e.epochIdx].Net
@@ -421,12 +437,15 @@ func (e *engine) step(r int, res *Result) {
 				e.probs[u] = -1
 			}
 		}
-		view = &View{
+		e.view = View{
 			Round:            r,
+			EpochIdx:         e.epochIdx,
+			Net:              e.net,
 			TransmitProbs:    e.probs,
 			LastTransmitters: e.lastTx,
 			Informed:         e.mon.progress(),
 		}
+		view = &e.view
 	}
 	var selector graph.EdgeSelector
 	switch {

@@ -1,6 +1,7 @@
 package radio_test
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -175,5 +176,34 @@ func TestGossipInjectionRejectsOverlap(t *testing.T) {
 		if _, err := radio.Run(radio.Config{Net: net, Algorithm: gossip.TDM{}, Spec: spec, Seed: 1}); err == nil {
 			t.Errorf("spec %+v accepted, want error", spec)
 		}
+	}
+}
+
+// TestGossipInjectionRejectsBeyondBudget pins the round-budget rule: an
+// injection at or beyond MaxRounds would count toward completion while never
+// entering the system, silently censoring every trial — the engine rejects
+// it up front instead. The round just inside the budget is accepted.
+func TestGossipInjectionRejectsBeyondBudget(t *testing.T) {
+	net := graph.UniformDual(graph.Clique(6))
+	mk := func(round, budget int) radio.Config {
+		return radio.Config{
+			Net: net, Algorithm: gossip.TDM{}, Seed: 1, MaxRounds: budget,
+			Spec: radio.Spec{Problem: radio.Gossip, Sources: []graph.NodeID{0},
+				Injections: []radio.Injection{{Source: 3, Round: round}}},
+		}
+	}
+	for _, round := range []int{50, 51, 80} {
+		_, err := radio.Run(mk(round, 50))
+		if !errors.Is(err, radio.ErrBadConfig) {
+			t.Errorf("injection at round %d of a 50-round budget: got %v, want ErrBadConfig", round, err)
+		}
+	}
+	if _, err := radio.Run(mk(49, 50)); err != nil {
+		t.Errorf("injection at round 49 of a 50-round budget rejected: %v", err)
+	}
+	// The default budget (64·n²) applies before validation, so an in-range
+	// injection with MaxRounds 0 still runs.
+	if _, err := radio.Run(mk(100, 0)); err != nil {
+		t.Errorf("injection under the default budget rejected: %v", err)
 	}
 }

@@ -7,9 +7,15 @@ import (
 
 // Env is the execution context handed to link processes. It contains exactly
 // what every adversary class is entitled to before the execution begins: the
-// network topology, the problem instance, the algorithm description, and the
-// adversary's own private randomness.
+// network topology (including the full epoch schedule, which is fixed before
+// round 1 and therefore public, exactly like the static topology), the
+// problem instance, the algorithm description, and the adversary's own
+// private randomness.
 type Env struct {
+	// Net is the base (epoch-0) topology. It never changes during the
+	// execution, even when an epoch schedule swaps the live network — the
+	// schedule itself is in Epochs, and adaptive link processes observe the
+	// live topology through View.Net.
 	Net       *graph.Dual
 	Spec      Spec
 	Algorithm Algorithm
@@ -17,13 +23,31 @@ type Env struct {
 	// MaxRounds is the engine's round budget, available so schedules can be
 	// sized.
 	MaxRounds int
+	// Epochs is the execution's full topology schedule (nil for a static
+	// run; Epochs[0].Net == Net otherwise). Like the network itself it is
+	// part of the environment, not execution information: oblivious link
+	// processes may commit against it — pre-simulating under the same churn
+	// the real execution will see, or concentrating their schedule on the
+	// rounds where the topology is degraded.
+	Epochs []Epoch
 }
 
 // View is the execution information available to adaptive link processes at
 // the start of a round. Oblivious processes never see a View.
+//
+// A View (and every slice it carries) is engine-owned scratch, valid only
+// for the duration of the ChooseOnline/ChooseOffline call; link processes
+// that retain any of it across rounds must copy.
 type View struct {
 	// Round is the current round index (0-based).
 	Round int
+	// EpochIdx is the index into Env.Epochs of the epoch the round runs
+	// under (0 for static executions).
+	EpochIdx int
+	// Net is the live topology of the round: Env.Epochs[EpochIdx].Net under
+	// a schedule, Env.Net otherwise. Adaptive adversaries reason over this
+	// network, not the epoch-0 one.
+	Net *graph.Dual
 	// TransmitProbs[u] is the probability that node u transmits this round,
 	// as determined by its state at the beginning of the round (before any
 	// coin is flipped). Nodes whose process does not implement

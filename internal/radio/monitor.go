@@ -132,9 +132,12 @@ type gossipMonitor struct {
 // monitor of its engine, so the slice is free). Injected rumors
 // (spec.Injections) count toward k; each injected origin is pre-stamped at
 // its injection round — no other node can hold the rumor earlier, because
-// nothing transmits it before the origin activates. Valid only until the
-// owning engine releases its scratch.
-func newGossipMonitor(n int, spec Spec, sc *scratch) (*gossipMonitor, error) {
+// nothing transmits it before the origin activates. Injection rounds must
+// fall inside the execution's round budget: a rumor scheduled at or beyond
+// maxRounds would count toward k while never entering the system, silently
+// censoring every trial. Valid only until the owning engine releases its
+// scratch.
+func newGossipMonitor(n int, spec Spec, maxRounds int, sc *scratch) (*gossipMonitor, error) {
 	sources := spec.Sources
 	if len(sources) == 0 && len(spec.Injections) == 0 {
 		return nil, fmt.Errorf("radio: gossip requires at least one source")
@@ -162,6 +165,10 @@ func newGossipMonitor(n int, spec Spec, sc *scratch) (*gossipMonitor, error) {
 	for j, inj := range spec.Injections {
 		if inj.Round < 0 {
 			return nil, fmt.Errorf("radio: injection %d has negative round %d", j, inj.Round)
+		}
+		if inj.Round >= maxRounds {
+			return nil, fmt.Errorf("radio: injection %d at round %d is at or beyond the %d-round budget; its rumor would count toward completion but never enter",
+				j, inj.Round, maxRounds)
 		}
 		if err := index(inj.Source, len(sources)+j); err != nil {
 			return nil, err

@@ -42,6 +42,85 @@ type Scenario struct {
 	// Injections is the multi-message contention schedule, handed to
 	// radio.Spec.Injections for gossip workloads.
 	Injections []radio.Injection
+	// Degradation is the per-epoch degradation metadata, aligned with the
+	// compiled schedule (entry 0 is the base epoch and always zero). Filled
+	// by Generate; for hand-built scenarios, DegradationOf computes it from
+	// a compiled schedule. Churn-window adversaries consume this to know
+	// when the topology is worth attacking.
+	Degradation []Degradation
+}
+
+// Degradation quantifies how far one epoch's topology has drifted from the
+// base: the attack surface a churn-aware adversary sees.
+type Degradation struct {
+	// Departed counts nodes offline during the epoch: nodes with at least
+	// one base G' link but none in the epoch's G'.
+	Departed int
+	// Demoted counts base reliable G edges that are no longer reliable in
+	// the epoch (demoted to E'\E or dropped outright) between endpoints
+	// that are both still online. These are exactly the formerly-trusted
+	// links whose fate the link process now controls.
+	Demoted int
+	// Gained counts unreliable links present in the epoch's G' that the
+	// base G' never had: fresh adversary-controlled pairs (storms, fringe
+	// drift). Like demotions they enlarge the attack surface, so they count
+	// as degradation even though no reliable link was lost.
+	Gained int
+}
+
+// Degraded reports whether the epoch's topology is degraded at all.
+func (d Degradation) Degraded() bool { return d.Departed > 0 || d.Demoted > 0 || d.Gained > 0 }
+
+// DegradationBetween compares one epoch's topology against the base. It
+// walks zero-copy CSR views only, so calling it per round (as a
+// churn-window adversary without precomputed windows does) allocates
+// nothing, at O(|E|) comparison cost.
+func DegradationBetween(base, cur *graph.Dual) Degradation {
+	var out Degradation
+	departed := func(u graph.NodeID) bool {
+		return len(base.GPrime().Neighbors(u)) > 0 && len(cur.GPrime().Neighbors(u)) == 0
+	}
+	for u := 0; u < base.N(); u++ {
+		if departed(u) {
+			out.Departed++
+		}
+	}
+	base.G().ForEachEdge(func(u, v graph.NodeID) {
+		if !departed(u) && !departed(v) && !cur.G().HasEdge(u, v) {
+			out.Demoted++
+		}
+	})
+	cur.GPrime().ForEachEdge(func(u, v graph.NodeID) {
+		if !base.GPrime().HasEdge(u, v) {
+			out.Gained++
+		}
+	})
+	return out
+}
+
+// DegradationOf computes the per-epoch degradation metadata of a compiled
+// schedule (epoch 0 is the base). Generate fills Scenario.Degradation with
+// exactly this.
+func DegradationOf(epochs []radio.Epoch) []Degradation {
+	if len(epochs) == 0 {
+		return nil
+	}
+	out := make([]Degradation, len(epochs))
+	for i := 1; i < len(epochs); i++ {
+		out[i] = DegradationBetween(epochs[0].Net, epochs[i].Net)
+	}
+	return out
+}
+
+// DegradedWindows flattens the scenario's degradation metadata into the
+// per-epoch window mask a churn-window adversary consumes (true = the epoch
+// is degraded).
+func (s Scenario) DegradedWindows() []bool {
+	wins := make([]bool, len(s.Degradation))
+	for i, d := range s.Degradation {
+		wins[i] = d.Degraded()
+	}
+	return wins
 }
 
 // Compile materializes the scenario into a radio epoch schedule: revision 0
@@ -89,6 +168,13 @@ type GenConfig struct {
 	// number of fresh unreliable pairs added per churn epoch. These persist:
 	// the adversary-controlled fringe drifts over the scenario's lifetime.
 	ExtraFlips int
+	// Storms is the number of transient unreliable links flaring up per
+	// churn epoch: fresh E'\E pairs added at the epoch start and removed
+	// one epoch later (the healing epoch clears the last batch), mirroring
+	// the leave/demotion pattern. A storm epoch hands the adversary a
+	// temporarily enlarged attack surface — on a base with G' = G it is the
+	// dual graph model's G-vs-G' gap itself, opening for one epoch.
+	Storms int
 	// Protected nodes never leave (problem sources and injection origins, so
 	// a scheduled origin is online when its rumor activates).
 	Protected []graph.NodeID
@@ -97,6 +183,11 @@ type GenConfig struct {
 	// epoch (j mod max(Epochs,1))+1 begins. Sources here are implicitly
 	// protected.
 	InjectSources []graph.NodeID
+	// MaxRounds, when positive, is the round budget the scenario will run
+	// under. Generate fails if the staggered injection schedule would place
+	// a rumor at or beyond it — the engine rejects such specs, because the
+	// rumor would count toward completion while never entering the system.
+	MaxRounds int
 }
 
 // Generate draws a deterministic scenario from the source: the same base,
@@ -126,21 +217,24 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 		protected[u] = true
 	}
 
-	sc := Scenario{Base: base}
+	sc := Scenario{Base: base, Degradation: []Degradation{{}}}
 	rv := graph.NewRevision(base)
-	var pendingJoins []graph.NodeID   // nodes that left last epoch
+	var pendingJoins []graph.NodeID     // nodes that left last epoch
 	var pendingRestores []graph.ChurnOp // demoted G edges to re-add
+	var pendingClears []graph.ChurnOp   // storm E'\E edges to remove
 
 	for e := 1; e <= cfg.Epochs; e++ {
 		var ops []graph.ChurnOp
-		// Heal last epoch's churn first, so departures and demotions last
-		// exactly one epoch.
+		// Heal last epoch's churn first, so departures, demotions, and
+		// storms last exactly one epoch.
 		for _, u := range pendingJoins {
 			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnJoin, U: u})
 		}
 		pendingJoins = nil
 		ops = append(ops, pendingRestores...)
 		pendingRestores = nil
+		ops = append(ops, pendingClears...)
+		pendingClears = nil
 
 		d := rv.Dual()
 		// Node churn: sample distinct present, unprotected nodes.
@@ -164,7 +258,13 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 			pendingRestores = append(pendingRestores, graph.ChurnOp{Kind: graph.ChurnAddEdge, U: u, V: v})
 		}
 		// Fringe drift: remove sampled unreliable edges, add fresh pairs.
-		exEdges := collectExtra(d)
+		// Base reliable edges are off limits even while they sit in E'\E (a
+		// demotion from the previous epoch awaiting restore): removing one
+		// would delete the reliable link outright and the healing epoch
+		// could never restore the base graph.
+		exEdges := collectExtra(d, func(u, v graph.NodeID) bool {
+			return !base.G().HasEdge(u, v)
+		})
 		for i := 0; i < cfg.ExtraFlips && len(exEdges) > 0; i++ {
 			j := src.Intn(len(exEdges))
 			u, v := exEdges[j][0], exEdges[j][1]
@@ -191,6 +291,25 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnAddExtraEdge, U: u, V: v})
 			i++
 		}
+		// Interference storms: transient unreliable links, cleared one epoch
+		// later. The same fresh-pair sampling as fringe drift, but with the
+		// removal scheduled — a storm epoch's attack surface collapses back
+		// to the base when it passes.
+		for i, attempts := 0, 0; i < cfg.Storms && attempts < 64*n; attempts++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u > v {
+				u, v = v, u
+			}
+			if u == v || added[[2]graph.NodeID{u, v}] || d.GPrime().HasEdge(u, v) ||
+				containsNode(pendingJoins, u) || containsNode(pendingJoins, v) ||
+				rv.Departed(u) || rv.Departed(v) {
+				continue
+			}
+			added[[2]graph.NodeID{u, v}] = true
+			ops = append(ops, graph.ChurnOp{Kind: graph.ChurnAddExtraEdge, U: u, V: v})
+			pendingClears = append(pendingClears, graph.ChurnOp{Kind: graph.ChurnRemoveExtraEdge, U: u, V: v})
+			i++
+		}
 
 		next, err := rv.Apply(ops)
 		if err != nil {
@@ -198,17 +317,26 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 		}
 		rv = next
 		sc.Epochs = append(sc.Epochs, Epoch{Start: e * cfg.EpochLen, Ops: ops})
+		sc.Degradation = append(sc.Degradation, DegradationBetween(base, rv.Dual()))
 	}
 
 	// Healing epoch: everyone rejoins, every outstanding demotion is
-	// restored, so the problem stays solvable after the churn window.
+	// restored, and the last storm clears, so the problem stays solvable
+	// after the churn window.
 	if cfg.Epochs > 0 {
 		var heal []graph.ChurnOp
 		for _, u := range pendingJoins {
 			heal = append(heal, graph.ChurnOp{Kind: graph.ChurnJoin, U: u})
 		}
 		heal = append(heal, pendingRestores...)
+		heal = append(heal, pendingClears...)
+		next, err := rv.Apply(heal)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario: generating healing epoch: %w", err)
+		}
+		rv = next
 		sc.Epochs = append(sc.Epochs, Epoch{Start: (cfg.Epochs + 1) * cfg.EpochLen, Ops: heal})
+		sc.Degradation = append(sc.Degradation, DegradationBetween(base, rv.Dual()))
 	}
 
 	// Staggered injections: rumor j enters when churn epoch (j mod E)+1
@@ -218,9 +346,14 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 		cycle = 1
 	}
 	for j, u := range cfg.InjectSources {
+		round := (1 + j%cycle) * cfg.EpochLen
+		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
+			return Scenario{}, fmt.Errorf("scenario: injection %d (node %d) lands at round %d, at or beyond the %d-round budget",
+				j, u, round, cfg.MaxRounds)
+		}
 		sc.Injections = append(sc.Injections, radio.Injection{
 			Source: u,
-			Round:  (1 + j%cycle) * cfg.EpochLen,
+			Round:  round,
 		})
 	}
 	return sc, nil
@@ -246,12 +379,12 @@ func collectEdges(g *graph.Graph, keep func(u, v graph.NodeID) bool) [][2]graph.
 	return out
 }
 
-// collectExtra lists a dual's E'\E edges with u < v.
-func collectExtra(d *graph.Dual) [][2]graph.NodeID {
+// collectExtra lists a dual's E'\E edges with u < v, optionally filtered.
+func collectExtra(d *graph.Dual, keep func(u, v graph.NodeID) bool) [][2]graph.NodeID {
 	out := make([][2]graph.NodeID, 0, d.NumExtraEdges())
 	for u := 0; u < d.N(); u++ {
 		for _, v := range d.ExtraNeighbors(u) {
-			if u < v {
+			if u < v && (keep == nil || keep(u, v)) {
 				out = append(out, [2]graph.NodeID{u, v})
 			}
 		}

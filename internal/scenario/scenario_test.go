@@ -205,3 +205,110 @@ func TestScenarioEndToEnd(t *testing.T) {
 		t.Fatal("churn schedule produced a byte-identical execution to the static network (swap had no effect)")
 	}
 }
+
+// TestGenerateDegradationMetadata pins the per-epoch degradation metadata:
+// Generate's Degradation must equal the structural comparison of each
+// compiled epoch against the base (DegradationOf), flag every churn epoch as
+// degraded, and report the base and healing epochs clean.
+func TestGenerateDegradationMetadata(t *testing.T) {
+	net := baseNet(t)
+	cfg := genCfg()
+	cfg.Storms = 6
+	// Fringe drift persists past the healing epoch by design, which would
+	// legitimately flag the healed topology as still carrying gained links;
+	// this test pins the transient kinds, so drift stays off.
+	cfg.ExtraFlips = 0
+	sc, err := Generate(net, bitrand.New(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Degradation) != len(eps) {
+		t.Fatalf("metadata covers %d epochs, schedule has %d", len(sc.Degradation), len(eps))
+	}
+	if want := DegradationOf(eps); !reflect.DeepEqual(sc.Degradation, want) {
+		t.Fatalf("Generate metadata %v differs from structural DegradationOf %v", sc.Degradation, want)
+	}
+	wins := sc.DegradedWindows()
+	if wins[0] {
+		t.Fatal("base epoch flagged degraded")
+	}
+	if wins[len(wins)-1] {
+		t.Fatalf("healing epoch flagged degraded: %+v", sc.Degradation[len(wins)-1])
+	}
+	for i := 1; i < len(wins)-1; i++ {
+		d := sc.Degradation[i]
+		if !wins[i] {
+			t.Fatalf("churn epoch %d not flagged degraded", i)
+		}
+		if d.Departed == 0 || d.Demoted == 0 || d.Gained == 0 {
+			t.Fatalf("churn epoch %d metadata incomplete: %+v (want leaves, demotions, and storm links all visible)", i, d)
+		}
+		// Storms and demotions both enlarge E'\E, and demoted edges are not
+		// double-counted as gained.
+		if d.Gained < cfg.Storms {
+			t.Fatalf("churn epoch %d gained %d unreliable links, want >= %d storm links", i, d.Gained, cfg.Storms)
+		}
+	}
+}
+
+// TestGenerateStormsTransient checks that storm links last exactly one
+// epoch: every storm edge of epoch e is gone from epoch e+1's G' (unless
+// re-drawn), and the healing epoch restores the base graphs exactly.
+func TestGenerateStormsTransient(t *testing.T) {
+	net := baseNet(t)
+	cfg := GenConfig{Epochs: 3, EpochLen: 20, Storms: 8}
+	sc, err := Generate(net, bitrand.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := eps[len(eps)-1].Net
+	if last.G().NumEdges() != net.G().NumEdges() || last.GPrime().NumEdges() != net.GPrime().NumEdges() {
+		t.Fatalf("healing epoch did not restore the base: |E|=%d vs %d, |E'|=%d vs %d",
+			last.G().NumEdges(), net.G().NumEdges(), last.GPrime().NumEdges(), net.GPrime().NumEdges())
+	}
+	for i := 1; i < len(eps); i++ {
+		d := DegradationBetween(net, eps[i].Net)
+		want := 0
+		if i < len(eps)-1 {
+			want = cfg.Storms
+		}
+		if d.Gained != want {
+			t.Fatalf("epoch %d carries %d storm links, want %d (storms must clear one epoch later)", i, d.Gained, want)
+		}
+	}
+}
+
+// TestGenerateInjectionBudget pins the round-budget validation: a config
+// whose staggered schedule would inject at or beyond MaxRounds fails loudly
+// instead of producing a spec the engine rejects (or worse, a silently
+// censored trial).
+func TestGenerateInjectionBudget(t *testing.T) {
+	net := baseNet(t)
+	cfg := genCfg() // injections land at rounds 50 and 100
+	cfg.MaxRounds = 100
+	if _, err := Generate(net, bitrand.New(1), cfg); err == nil {
+		t.Fatal("injection at round 100 of a 100-round budget accepted")
+	}
+	cfg.MaxRounds = 101
+	sc, err := Generate(net, bitrand.New(1), cfg)
+	if err != nil {
+		t.Fatalf("injection inside the budget rejected: %v", err)
+	}
+	for _, inj := range sc.Injections {
+		if inj.Round >= cfg.MaxRounds {
+			t.Fatalf("generated injection at round %d breaches the %d-round budget", inj.Round, cfg.MaxRounds)
+		}
+	}
+	cfg.MaxRounds = 0 // unchecked
+	if _, err := Generate(net, bitrand.New(1), cfg); err != nil {
+		t.Fatalf("MaxRounds 0 must disable the check: %v", err)
+	}
+}
