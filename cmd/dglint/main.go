@@ -1,0 +1,81 @@
+// Command dglint runs the repository's static-invariant analyzers — the
+// determinism, view-lifetime, scratch-reset and alloc-gate contracts — over
+// the given package patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/dglint ./...
+//	go run ./cmd/dglint -run detrand,viewescape ./internal/...
+//	go run ./cmd/dglint -list
+//
+// dglint is a tier-1-adjacent CI gate: the contracts it enforces are the
+// ones the sweep scheduler's byte-identical-output invariant and the epoch
+// machinery rest on, so a finding is a build break, not advice. Justified
+// exceptions are annotated in source with //dglint:allow <analyzer>:
+// <reason> — see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers {
+			scope := ""
+			if a.InternalOnly {
+				scope = " [internal packages only]"
+			}
+			fmt.Printf("%-14s %s%s\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *runFlag != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.AnalyzerByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "dglint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dglint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dglint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		loader, lerr := lint.NewLoader(cwd)
+		root := cwd
+		if lerr == nil {
+			root = loader.ModRoot
+		}
+		lint.Print(os.Stdout, root, diags)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean runs every analyzer over the whole module and requires
+// zero findings — the same gate CI runs via `go run ./cmd/dglint ./...`,
+// wired into `go test ./...` so a finding fails the ordinary test run too.
+func TestRepoIsClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(cwd, []string{"./..."}, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzerRegistry pins the suite: every analyzer is registered under
+// its documented name, resolvable by AnalyzerByName, and documented.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"detrand", "viewescape", "scratchreset", "noalloc"}
+	if len(lint.Analyzers) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(lint.Analyzers), len(want))
+	}
+	for i, name := range want {
+		a := lint.Analyzers[i]
+		if a.Name != name {
+			t.Errorf("Analyzers[%d].Name = %q, want %q", i, a.Name, name)
+		}
+		if lint.AnalyzerByName(name) != a {
+			t.Errorf("AnalyzerByName(%q) did not return the registered analyzer", name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", name)
+		}
+	}
+	if lint.AnalyzerByName("nope") != nil {
+		t.Error("AnalyzerByName of an unknown name should be nil")
+	}
+}

@@ -62,6 +62,8 @@ func (a ChurnWindow) inWindow(env *radio.Env, view *radio.View) bool {
 }
 
 // ChooseOnline implements radio.OnlineAdaptiveLink.
+//
+//dglint:noalloc gate=TestChurnWindowAllocs
 func (a ChurnWindow) ChooseOnline(env *radio.Env, view *radio.View) graph.EdgeSelector {
 	if !a.inWindow(env, view) {
 		return graph.SelectNone{}
@@ -86,6 +88,8 @@ type ChurnWindowOffline struct {
 var _ radio.OfflineAdaptiveLink = ChurnWindowOffline{}
 
 // ChooseOffline implements radio.OfflineAdaptiveLink.
+//
+//dglint:noalloc gate=TestChurnWindowAllocs
 func (a ChurnWindowOffline) ChooseOffline(env *radio.Env, view *radio.View, tx []graph.NodeID) graph.EdgeSelector {
 	if !(ChurnWindow{Windows: a.Windows, Invert: a.Invert}).inWindow(env, view) {
 		return graph.SelectNone{}

@@ -69,6 +69,7 @@ func assignRoundRobinMessages(procs []radio.Process, spec radio.Spec) {
 	}
 }
 
+//dglint:pooled reset=RoundRobin.ResetProcesses
 type roundRobinProc struct {
 	id, n int
 	msg   *radio.Message // nil until the node holds a message
@@ -165,9 +166,10 @@ func (a Aloha) NewProcesses(net *graph.Dual, spec radio.Spec, rng *bitrand.Sourc
 	return procs
 }
 
+//dglint:pooled reset=Aloha.ResetProcesses
 type alohaProc struct {
 	p   float64
-	msg *radio.Message
+	msg *radio.Message //dglint:allow scratchreset: broadcaster frame (Origin = itself) is immutable, reused across trials
 }
 
 // TransmitProb implements radio.TransmitProber.

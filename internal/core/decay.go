@@ -83,6 +83,7 @@ func resetDecayGlobalProc(p *decayGlobalProc, u, source graph.NodeID) {
 	p.isSource = false
 }
 
+//dglint:pooled reset=DecayGlobal.ResetProcesses
 type decayGlobalProc struct {
 	levels     int
 	msg        *radio.Message
@@ -206,9 +207,10 @@ func (DecayLocal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec ra
 	return true
 }
 
+//dglint:pooled reset=DecayLocal.ResetProcesses
 type decayLocalProc struct {
 	levels int
-	msg    *radio.Message
+	msg    *radio.Message //dglint:allow scratchreset: broadcaster frame (Origin = itself) is immutable, reused across trials
 }
 
 func (p *decayLocalProc) prob(r int) float64 {

@@ -170,6 +170,7 @@ func (a GeoLocal) ResetProcesses(procs []radio.Process, net *graph.Dual, spec ra
 	return true
 }
 
+//dglint:pooled reset=GeoLocal.ResetProcesses
 type geoLocalProc struct {
 	id  graph.NodeID
 	par geoParams

@@ -19,6 +19,8 @@ const PermutedDecayGamma = 16
 // coordinated (Lemma 4.2). Indices are derived from fixed positions of the
 // bit string, so two nodes reading the same string at the same round agree
 // without any cursor state.
+//
+//dglint:pooled reset=Reset
 type PermSchedule struct {
 	bits    *bitrand.BitString
 	levels  int // probability indices range over [1, levels]
@@ -196,6 +198,7 @@ func (PermutedGlobal) ResetProcesses(procs []radio.Process, net *graph.Dual, spe
 	return true
 }
 
+//dglint:pooled reset=PermutedGlobal.ResetProcesses
 type permGlobalProc struct {
 	n          int
 	numBlocks  int
@@ -322,9 +325,10 @@ func (PermutedLocalUncoordinated) ResetProcesses(procs []radio.Process, net *gra
 	return true
 }
 
+//dglint:pooled reset=PermutedLocalUncoordinated.ResetProcesses
 type permLocalProc struct {
 	sched PermSchedule
-	msg   *radio.Message
+	msg   *radio.Message //dglint:allow scratchreset: broadcaster frame (Origin = itself) is immutable, reused across trials
 }
 
 // TransmitProb implements radio.TransmitProber.

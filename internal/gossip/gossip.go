@@ -160,6 +160,7 @@ func (TDM) ResetProcesses(procs []radio.Process, net *graph.Dual, spec radio.Spe
 	return true
 }
 
+//dglint:pooled reset=TDM.ResetProcesses
 type rumorState struct {
 	informedAt int // -1 until informed; sched/msg valid iff ≥ 0
 	sched      core.PermSchedule
@@ -168,6 +169,7 @@ type rumorState struct {
 	originSent bool
 }
 
+//dglint:pooled reset=TDM.ResetProcesses
 type tdmProc struct {
 	n, k      int
 	numBlocks int

@@ -88,6 +88,7 @@ func (a LeaderElect) ResetProcesses(procs []radio.Process, net *graph.Dual, spec
 	return true
 }
 
+//dglint:pooled reset=LeaderElect.ResetProcesses
 type leaderProc struct {
 	levels   int
 	champ    graph.NodeID

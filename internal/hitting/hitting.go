@@ -157,6 +157,8 @@ var ErrNotProbeable = errors.New("hitting: algorithm processes do not implement 
 // players return their slab to a pool and the next player resets it instead
 // of reallocating — the simulation-side mirror of the engine's process
 // arena.
+//
+//dglint:pooled reset=SimulationPlayer.init
 type simSlab struct {
 	algName string
 	beta    int

@@ -1,0 +1,258 @@
+// Package lint implements dglint, the repository's static-invariant
+// checker: a small suite of analyzers that mechanically enforce the three
+// contracts every PR so far has defended by hand — byte-identical output at
+// any worker/shard count (determinism), zero-copy CSR neighbor views that
+// must not outlive an epoch swap (view lifetime), and pooled scratch/arena
+// state that must be fully reset between trials (scratch reset) — plus the
+// allocation budgets of the engine's hot paths.
+//
+// The suite is shaped like golang.org/x/tools/go/analysis (Analyzer, Pass,
+// analysistest-style fixture tests) but is self-contained: this module is
+// built offline with no dependencies, so the framework reimplements the
+// narrow slice it needs on top of go/ast and go/types, with stdlib imports
+// type-checked from source (see load.go).
+//
+// Directives, written as comments in checked code:
+//
+//	//dglint:allow <analyzer>: <reason>
+//	    Suppresses a diagnostic from the named analyzer on the same line or
+//	    the line directly below the comment. The reason is mandatory: every
+//	    escape hatch must say why the site is justified.
+//	//dglint:pooled reset=<name>[,<name>...]
+//	    On a struct type: the struct cycles through a pool, and every field
+//	    must be touched by one of the named reset functions (or a function
+//	    they transitively call within the package). See scratchreset.go.
+//	//dglint:noalloc gate=<TestName>
+//	    On a function: the function is an allocation-free hot path pinned by
+//	    the named testing.AllocsPerRun gate in the package's tests. See
+//	    noalloc.go.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// InternalOnly restricts the analyzer to packages under internal/: the
+	// determinism contract binds simulation code, not the CLI front ends
+	// (dgbench legitimately reads the wall clock for progress output).
+	InternalOnly bool
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's type-checked non-test files.
+	Files []*ast.File
+	// TestFiles are the package directory's _test.go files, parsed but not
+	// type-checked (they may belong to the external _test package). The
+	// noalloc analyzer scans them for AllocsPerRun gates.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dir is the package directory on disk.
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression by //dglint:allow is
+// applied later by the driver, so analyzers report unconditionally.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, bound to its resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Directive kinds.
+const (
+	dirAllow   = "allow"
+	dirPooled  = "pooled"
+	dirNoalloc = "noalloc"
+)
+
+// directive is one parsed //dglint: comment.
+type directive struct {
+	pos  token.Pos
+	kind string // allow, pooled, noalloc
+	args string // raw text after the kind
+}
+
+const dirPrefix = "//dglint:"
+
+// parseDirective parses a single comment line; ok is false for ordinary
+// comments.
+func parseDirective(c *ast.Comment) (d directive, ok bool) {
+	text, found := strings.CutPrefix(c.Text, dirPrefix)
+	if !found {
+		return directive{}, false
+	}
+	// Strip an inline "// want" expectation so analysistest-style fixtures
+	// can assert on diagnostics reported at the directive itself.
+	if i := strings.Index(text, " // want"); i >= 0 {
+		text = text[:i]
+	}
+	kind, args, _ := strings.Cut(text, " ")
+	return directive{pos: c.Pos(), kind: kind, args: strings.TrimSpace(args)}, true
+}
+
+// directivesIn collects every dglint directive in a comment group.
+func directivesIn(g *ast.CommentGroup) []directive {
+	if g == nil {
+		return nil
+	}
+	var ds []directive
+	for _, c := range g.List {
+		if d, ok := parseDirective(c); ok {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// findDirective returns the first directive of the given kind attached to
+// any of the comment groups.
+func findDirective(kind string, groups ...*ast.CommentGroup) (directive, bool) {
+	for _, g := range groups {
+		for _, d := range directivesIn(g) {
+			if d.kind == kind {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// parseAllow splits an allow directive's args into analyzer name and reason.
+// The mandated form is "<analyzer>: <reason>".
+func parseAllow(args string) (analyzer, reason string, ok bool) {
+	analyzer, reason, found := strings.Cut(args, ":")
+	analyzer = strings.TrimSpace(analyzer)
+	reason = strings.TrimSpace(reason)
+	if !found || analyzer == "" || reason == "" {
+		return "", "", false
+	}
+	return analyzer, reason, true
+}
+
+// allowIndex records, per file and line, which analyzers are allowed there.
+// An inline allow (sharing its line with code) suppresses diagnostics on its
+// own line; a standalone allow suppresses the line directly below it.
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) add(file string, line int, analyzer string) {
+	byLine := ai[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		ai[file] = byLine
+	}
+	if byLine[line] == nil {
+		byLine[line] = make(map[string]bool)
+	}
+	byLine[line][analyzer] = true
+}
+
+func (ai allowIndex) allowed(d Diagnostic) bool {
+	return ai[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// collectAllows indexes every allow directive in the package (including test
+// files) and reports malformed ones — an escape hatch without an analyzer
+// name and a reason is itself a finding.
+func collectAllows(fset *token.FileSet, files []*ast.File, ai allowIndex, report func(Diagnostic)) {
+	for _, f := range files {
+		codeLines := linesWithCode(fset, f)
+		for _, g := range f.Comments {
+			for _, d := range directivesIn(g) {
+				pos := fset.Position(d.pos)
+				switch d.kind {
+				case dirAllow:
+					analyzer, _, ok := parseAllow(d.args)
+					if !ok {
+						report(Diagnostic{
+							Analyzer: "dglint",
+							Pos:      pos,
+							Message:  `malformed //dglint:allow: want "//dglint:allow <analyzer>: <reason>"`,
+						})
+						continue
+					}
+					line := pos.Line
+					if !codeLines[line] {
+						// Standalone comment: it guards the line below.
+						line++
+					}
+					ai.add(pos.Filename, line, analyzer)
+				case dirPooled, dirNoalloc:
+					// Validated by their analyzers.
+				default:
+					report(Diagnostic{
+						Analyzer: "dglint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("unknown directive //dglint:%s", d.kind),
+					})
+				}
+			}
+		}
+	}
+}
+
+// linesWithCode reports which lines of the file contain non-comment tokens,
+// distinguishing inline comments from standalone ones.
+func linesWithCode(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DetRand forbids the determinism poisons in simulation code.
+//
+// The whole experiment harness rests on one invariant: identical seeds
+// produce byte-identical output at any worker or shard count. Three things
+// break it silently:
+//
+//   - math/rand (and v2): global, lock-shared, seed-uncontrolled streams.
+//     All simulation randomness must come through repro/internal/bitrand,
+//     whose per-node streams are derived from the trial seed.
+//   - time.Now / time.Since: wall-clock values reaching simulation state or
+//     output make reruns diverge.
+//   - map iteration feeding output or aggregation: Go randomizes map order
+//     per run, which is exactly the row-ordering bug PR 1 fixed by hand.
+//
+// The map-range check is a heuristic over the loop body. Order-insensitive
+// bodies are accepted: integer/bitwise compound accumulation (+=, |=, ++,
+// ...), writes into other maps, delete, assignments to variables local to
+// the loop, constant assignments (idempotent flags), and min/max folds.
+// Collect-then-sort is accepted too: appending to an outer slice is fine
+// when the slice is passed to a sort.* / slices.Sort* call later in the same
+// function. Everything else — calls executed for effect, returns, sends,
+// stores to outer state, floating-point accumulation (whose rounding is
+// order-dependent) — is reported. Justified sites take
+// //dglint:allow detrand: <reason>.
+var DetRand = &Analyzer{
+	Name:         "detrand",
+	Doc:          "forbid math/rand, time.Now and unsorted map iteration in simulation packages",
+	InternalOnly: true,
+	Run:          runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s poisons determinism; derive randomness from the trial seed via repro/internal/bitrand", path)
+			}
+		}
+		// Walk with the enclosing function body tracked, so the map-range
+		// check can look for sorts later in the same function.
+		var walk func(n ast.Node, funcBody *ast.BlockStmt)
+		walk = func(n ast.Node, funcBody *ast.BlockStmt) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						walk(n.Body, n.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					walk(n.Body, n.Body)
+					return false
+				case *ast.CallExpr:
+					if pkg, name := pkgFuncCall(pass, n); pkg == "time" && (name == "Now" || name == "Since") {
+						pass.Reportf(n.Pos(), "time.%s in simulation code poisons determinism; round counts are the only clock", name)
+					}
+				case *ast.RangeStmt:
+					checkMapRange(pass, n, funcBody)
+				}
+				return true
+			})
+		}
+		walk(f, nil)
+	}
+}
+
+// pkgFuncCall resolves a call of the form pkg.Func and returns the package
+// path and function name, or "", "".
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// checkMapRange classifies the body of a range-over-map loop and reports
+// order-sensitive effects.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Objects whose mutation is order-insensitive by construction: the loop
+	// variables and everything declared inside the loop body.
+	local := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+
+	c := &mapRangeChecker{pass: pass, local: local}
+	c.stmts(rs.Body.List)
+
+	// Collect-then-sort: every outer slice the loop appends to must be
+	// sorted after the loop, in the same function.
+	for _, ap := range c.appends {
+		if !sortedAfter(pass, funcBody, rs.End(), ap.obj) {
+			pass.Reportf(ap.pos, "map iteration order reaches %s, which is never sorted; sort it or iterate sorted keys", ap.obj.Name())
+		}
+	}
+}
+
+type appendSite struct {
+	pos token.Pos
+	obj types.Object
+}
+
+type mapRangeChecker struct {
+	pass    *Pass
+	local   map[types.Object]bool
+	appends []appendSite
+}
+
+func (c *mapRangeChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+// stmt reports order-sensitive statements inside the map range.
+func (c *mapRangeChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmt(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.ForStmt:
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.stmt(s.Body)
+	case *ast.IncDecStmt:
+		c.accumulate(s, s.X)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.effectFreeCall(call) {
+			return
+		}
+		c.pass.Reportf(s.Pos(), "call executed for effect inside map iteration runs in randomized order")
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.DeclStmt, *ast.LabeledStmt:
+		// Declarations introduce loop-local state; branches carry no effect.
+	case *ast.ReturnStmt:
+		c.pass.Reportf(s.Pos(), "return inside map iteration picks a randomized element")
+	default:
+		c.pass.Reportf(s.Pos(), "order-sensitive statement inside map iteration")
+	}
+}
+
+// assign classifies one assignment inside the map range.
+func (c *mapRangeChecker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		return // new loop-local variables
+	case token.ASSIGN:
+	default:
+		// Compound accumulation (+=, -=, |=, ...): order-insensitive for
+		// integers; floating-point rounding is order-dependent.
+		for _, lhs := range s.Lhs {
+			if c.isFloat(lhs) {
+				c.pass.Reportf(s.Pos(), "floating-point accumulation in map order is not reproducible (rounding is order-dependent)")
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else {
+			rhs = s.Rhs[0]
+		}
+		c.assignOne(s, lhs, rhs)
+	}
+}
+
+func (c *mapRangeChecker) assignOne(s *ast.AssignStmt, lhs, rhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Writes into another map are order-insensitive (each key written once
+	// per iteration, keyed by loop state).
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if tv, ok := c.pass.TypesInfo.Types[ix.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return
+			}
+		}
+	}
+	if obj := c.baseObj(lhs); obj != nil && c.local[obj] {
+		return
+	}
+	// x = append(x, ...): collect now, demand a sort later.
+	if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "append") {
+		if obj := c.baseObj(lhs); obj != nil {
+			c.appends = append(c.appends, appendSite{pos: s.Pos(), obj: obj})
+			return
+		}
+	}
+	// x = min(x, v) / max(x, v): an order-insensitive fold.
+	if call, ok := rhs.(*ast.CallExpr); ok && (isBuiltin(c.pass, call.Fun, "min") || isBuiltin(c.pass, call.Fun, "max")) {
+		lobj := c.baseObj(lhs)
+		for _, arg := range call.Args {
+			if c.baseObj(arg) == lobj && lobj != nil {
+				return
+			}
+		}
+	}
+	// x = <constant>: idempotent (flag-setting), any order yields the same
+	// final state.
+	if tv, ok := c.pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+		return
+	}
+	c.pass.Reportf(s.Pos(), "assignment to %s inside map iteration depends on randomized order", exprString(lhs))
+}
+
+func (c *mapRangeChecker) accumulate(s ast.Stmt, x ast.Expr) {
+	if c.isFloat(x) {
+		c.pass.Reportf(s.Pos(), "floating-point accumulation in map order is not reproducible (rounding is order-dependent)")
+	}
+}
+
+func (c *mapRangeChecker) isFloat(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// effectFreeCall reports whether a statement-position call is harmless
+// inside a map range: delete and clear mutate maps keyed by loop state;
+// panic aborts rather than emits.
+func (c *mapRangeChecker) effectFreeCall(call *ast.CallExpr) bool {
+	return isBuiltin(c.pass, call.Fun, "delete") ||
+		isBuiltin(c.pass, call.Fun, "clear") ||
+		isBuiltin(c.pass, call.Fun, "panic")
+}
+
+// baseObj resolves the root object of an lvalue chain: a in a, a.b, a[i].c.
+func (c *mapRangeChecker) baseObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return c.pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// sortFuncs are the recognized sorted-after sinks for collect-then-sort.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Ints": true, "Strings": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort call after
+// pos within body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		pkg, name := pkgFuncCall(pass, call)
+		short := pkg[strings.LastIndexByte(pkg, '/')+1:]
+		if m, ok := sortFuncs[short]; !ok || !m[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"io"
+	"strings"
+)
+
+// Analyzers is the dglint suite, in reporting order.
+var Analyzers = []*Analyzer{DetRand, ViewEscape, ScratchReset, NoAlloc}
+
+// AnalyzerByName returns the named analyzer or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the given analyzers over one loaded package and returns the
+// surviving diagnostics: //dglint:allow suppression is applied, malformed
+// directives are themselves reported. InternalOnly filtering is the caller's
+// job (Run applies it; fixture tests bypass it deliberately).
+func Check(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			TestFiles: pkg.TestFiles,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
+			diags:     &raw,
+		}
+		a.Run(pass)
+	}
+	ai := make(allowIndex)
+	var kept []Diagnostic
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	collectAllows(loader.Fset, files, ai, func(d Diagnostic) { kept = append(kept, d) })
+	for _, d := range raw {
+		if !ai.allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+// Run loads every package matching patterns (resolved against the module
+// containing startDir) and applies the suite. It returns all surviving
+// diagnostics, sorted by position.
+func Run(startDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(startDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		sel := analyzers
+		if !strings.Contains(pkg.Path, "internal/") {
+			sel = nil
+			for _, a := range analyzers {
+				if !a.InternalOnly {
+					sel = append(sel, a)
+				}
+			}
+		}
+		all = append(all, Check(pkg, loader, sel)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// Print writes diagnostics in the conventional file:line:col format,
+// with paths shown relative to the module root when possible.
+func Print(w io.Writer, modRoot string, ds []Diagnostic) {
+	for _, d := range ds {
+		name := d.Pos.Filename
+		if rel, ok := strings.CutPrefix(name, modRoot+"/"); ok {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// The four analyzers against their positive/negative fixtures. Each fixture
+// package contains both firing sites (asserted by // want comments) and
+// blessed idioms that must stay silent.
+
+func TestDetRandFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/detrand", lint.DetRand)
+}
+
+func TestViewEscapeFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/viewescape", lint.ViewEscape)
+}
+
+func TestScratchResetFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/scratchreset", lint.ScratchReset)
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/noalloc", lint.NoAlloc)
+}

@@ -1,0 +1,125 @@
+// Package linttest runs dglint analyzers over fixture packages and checks
+// their diagnostics against // want comments, mirroring the core of
+// golang.org/x/tools/go/analysis/analysistest for this repository's
+// self-contained framework.
+//
+// Fixtures live under internal/lint/testdata/src/<pkg>, GOPATH-style, so a
+// fixture can import a small stand-in package ("graph") by bare path. A
+// want comment asserts the diagnostics of its own source line:
+//
+//	h.view = g.Neighbors(0) // want `stored in h.view`
+//
+// Multiple string literals assert multiple diagnostics on the line; every
+// diagnostic must be matched by a want and every want by a diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run applies one analyzer to the fixture package at dir and compares
+// diagnostics against the package's // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoot = filepath.Dir(abs)
+	pkg, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Check(pkg, loader, []*lint.Analyzer{a})
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				for _, pat := range wantPatterns(t, c.Text) {
+					pos := loader.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], pat)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, pat := range wants[k] {
+			if pat.MatchString(d.Message) {
+				matched[pat] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	// Collect-then-sort so failure output does not leak map order (the
+	// detrand analyzer holds this package to its own standard).
+	var missing []string
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if !matched[pat] {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, pat))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// wantLiteral matches the Go string literals of a want comment: backquoted
+// or double-quoted.
+var wantLiteral = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// wantPatterns extracts the expectation regexps from one comment's text,
+// which may be a standalone "// want ..." comment or carry an inline
+// " // want ..." suffix (directive-line expectations).
+func wantPatterns(t *testing.T, text string) []*regexp.Regexp {
+	t.Helper()
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		// Standalone comments surface as "// want `...`"; nested ones keep
+		// the second marker, handled above. Nothing to do otherwise.
+		return nil
+	}
+	rest := text[idx+len("// want "):]
+	var pats []*regexp.Regexp
+	for _, lit := range wantLiteral.FindAllString(rest, -1) {
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("bad want literal %s: %v", lit, err)
+		}
+		pats = append(pats, regexp.MustCompile(s))
+	}
+	if len(pats) == 0 {
+		t.Fatal(fmt.Errorf("want comment with no string literals: %s", text))
+	}
+	return pats
+}

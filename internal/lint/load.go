@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package plus the parsed (but not
+// type-checked) test files of its directory.
+type Package struct {
+	Path      string
+	Dir       string
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// A Loader parses and type-checks packages of the enclosing module without
+// any external driver: module-internal imports resolve to directories under
+// the module root, fixture imports resolve GOPATH-style under an optional
+// fixture root, and everything else (the standard library) is type-checked
+// from GOROOT source via go/importer's "source" compiler. The whole chain
+// works offline with an empty module cache, which is the environment this
+// repository builds in.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // directory containing go.mod
+	ModPath string // module path declared there
+	// FixtureRoot, when non-empty, is a GOPATH-style src directory consulted
+	// before module resolution; linttest points it at testdata/src so
+	// fixtures can import small stand-in packages by bare path.
+	FixtureRoot string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing startDir.
+func NewLoader(startDir string) (*Loader, error) {
+	root, modPath, err := findModule(startDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadDir loads the package in dir, which must lie under the module root or
+// the fixture root.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if l.FixtureRoot != "" {
+		if rel, err := filepath.Rel(l.FixtureRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			return l.load(filepath.ToSlash(rel), dir)
+		}
+	}
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// dirFor maps an import path to a directory, or "" when the path belongs to
+// neither the fixture tree nor the module (i.e. it is standard library).
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer, resolving module and fixture imports
+// through the loader itself and everything else through the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package at dir under the given import
+// path, memoized per path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	pkg.Types, err = conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ExpandPatterns resolves package patterns relative to the module root:
+// "./..." (or any path ending in "/...") walks directories recursively,
+// anything else names a single package directory. Directories named testdata
+// and hidden directories are skipped, as are directories with no non-test Go
+// files. The result is sorted by directory for deterministic lint output.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, rec := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = l.ModRoot
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(l.ModRoot, base)
+		}
+		if !rec {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+				add(filepath.Dir(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoAlloc pairs allocation-free hot-path annotations with their runtime
+// gates.
+//
+// The engine's hot paths (round delivery, epoch swap, the adversary view
+// restamp) carry hard-won allocation budgets — 3–6 allocs per trial, pinned
+// in BENCH_pr2/pr5. A static analyzer cannot prove Go code allocation-free,
+// but it can make the runtime proof un-skippable: every function annotated
+//
+//	//dglint:noalloc gate=<TestName>
+//
+// must name a Test function in the same package's _test.go files whose body
+// calls testing.AllocsPerRun. The annotation documents the budget at the
+// definition site; the gate turns a regression into a failing test instead
+// of an advisory JSON delta; and this analyzer fails the build when either
+// side of the pair goes missing — an annotation without a live gate, a gate
+// without AllocsPerRun, or a directive detached from any function.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "require //dglint:noalloc hot paths to be pinned by a testing.AllocsPerRun gate",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	// Gates available in the package directory's test files (both the
+	// internal and external _test packages), by name.
+	gates := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				gates[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		// Doc comment groups legitimately carrying a noalloc directive; any
+		// other comment group containing one is misplaced.
+		attached := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, ok := findDirective(dirNoalloc, fd.Doc)
+			if !ok {
+				continue
+			}
+			attached[fd.Doc] = true
+			checkNoAllocPair(pass, fd, d, gates)
+		}
+		for _, g := range f.Comments {
+			if attached[g] {
+				continue
+			}
+			if d, ok := findDirective(dirNoalloc, g); ok {
+				pass.Reportf(d.pos, "//dglint:noalloc must be in the doc comment of the function it pins")
+			}
+		}
+	}
+}
+
+func checkNoAllocPair(pass *Pass, fd *ast.FuncDecl, d directive, gates map[string]*ast.FuncDecl) {
+	gate, ok := strings.CutPrefix(d.args, "gate=")
+	gate = strings.TrimSpace(gate)
+	if !ok || gate == "" {
+		pass.Reportf(d.pos, `malformed //dglint:noalloc: want "//dglint:noalloc gate=<TestName>"`)
+		return
+	}
+	if !strings.HasPrefix(gate, "Test") {
+		pass.Reportf(d.pos, "noalloc gate %s is not a Test function: only tests fail CI, benchmarks are advisory", gate)
+		return
+	}
+	gd, ok := gates[gate]
+	if !ok {
+		pass.Reportf(d.pos, "noalloc gate %s for %s not found in this package's _test.go files", gate, fd.Name.Name)
+		return
+	}
+	if !callsAllocsPerRun(gd) {
+		pass.Reportf(d.pos, "noalloc gate %s never calls testing.AllocsPerRun, so it pins nothing", gate)
+	}
+}
+
+// callsAllocsPerRun reports whether the test function's body contains a call
+// to testing.AllocsPerRun. Test files are parsed but not type-checked (they
+// may belong to the external _test package), so the match is syntactic.
+func callsAllocsPerRun(fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

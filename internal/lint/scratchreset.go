@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ScratchReset checks that pooled structs are fully reset between uses.
+//
+// A struct marked //dglint:pooled cycles through a pool (the engine scratch,
+// the process arena slabs) and is observed by the next trial in whatever
+// state the previous one left it. The invariant that keeps pooling
+// observationally identical to fresh allocation is that the reset path
+// touches every field: either clearing it, rebuilding it, or deliberately
+// carrying it (memoized caches, identity keys) — in which case the field is
+// annotated //dglint:allow scratchreset: <reason> and the reason documents
+// why carrying is sound.
+//
+// The directive names the reset roots:
+//
+//	//dglint:pooled reset=<name>[,<name>...]
+//
+// where each name is a method of the struct, a package-level function, or
+// Type.Method within the package (the factory pattern: DecayGlobal's
+// ResetProcesses resets decayGlobalProc). The default is reset=Reset. A
+// field counts as touched when any root — or any same-package function a
+// root transitively calls — selects it on a value of the struct type, or
+// builds a composite literal of the struct type (a literal constructs a
+// complete value: keys absent from *p = T{a: 1} are zeroed, not carried).
+// Adding a field without wiring it into a reset root (or annotating it) is
+// a lint failure, which turns the cross-trial heisenbug class into a build
+// break.
+var ScratchReset = &Analyzer{
+	Name: "scratchreset",
+	Doc:  "require every field of a //dglint:pooled struct to be covered by its reset path",
+	Run:  runScratchReset,
+}
+
+func runScratchReset(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				d, ok := findDirective(dirPooled, ts.Doc, ts.Comment, gd.Doc)
+				if !ok {
+					continue
+				}
+				checkPooled(pass, ts, d, decls)
+			}
+		}
+	}
+}
+
+// packageFuncDecls maps each function object of the package to its
+// declaration, for call-graph walks.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+func checkPooled(pass *Pass, ts *ast.TypeSpec, d directive, decls map[*types.Func]*ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		pass.Reportf(d.pos, "//dglint:pooled on non-named type %s", ts.Name.Name)
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(d.pos, "//dglint:pooled on non-struct type %s", ts.Name.Name)
+		return
+	}
+
+	// Parse reset=a,b and resolve each root.
+	resetNames := []string{"Reset"}
+	if d.args != "" {
+		val, ok := strings.CutPrefix(d.args, "reset=")
+		if !ok {
+			pass.Reportf(d.pos, `malformed //dglint:pooled: want "//dglint:pooled reset=<name>[,<name>...]"`)
+			return
+		}
+		resetNames = strings.Split(val, ",")
+	}
+	var roots []*ast.FuncDecl
+	for _, name := range resetNames {
+		fn := resolveResetRoot(pass, named, strings.TrimSpace(name))
+		if fn == nil {
+			pass.Reportf(d.pos, "pooled struct %s: reset root %q not found in package %s", ts.Name.Name, name, pass.Pkg.Name())
+			continue
+		}
+		fd, ok := decls[fn]
+		if !ok {
+			pass.Reportf(d.pos, "pooled struct %s: reset root %q has no body in this package", ts.Name.Name, name)
+			continue
+		}
+		roots = append(roots, fd)
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Canonical field objects of the struct.
+	fieldObjs := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldObjs[st.Field(i)] = true
+	}
+
+	// Closure over the package call graph from the reset roots, unioning the
+	// fields each reachable function touches.
+	touched := make(map[*types.Var]bool)
+	seen := make(map[*ast.FuncDecl]bool)
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if seen[fd] {
+			continue
+		}
+		seen[fd] = true
+		collectTouched(pass, fd, named, fieldObjs, touched)
+		for _, callee := range callees(pass, fd, decls) {
+			if !seen[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	// Report unreset, unannotated fields at their declarations.
+	structType, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range structType.Fields.List {
+		if _, allowed := fieldAllow(pass, field); allowed {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: its implicit name is the base type name.
+			if fv := fieldNamed(st, embeddedName(field.Type)); fv != nil && !touched[fv] {
+				pass.Reportf(field.Pos(), "embedded field %s of pooled struct %s is not touched by %s", fv.Name(), ts.Name.Name, strings.Join(resetNames, "/"))
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			fv, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || touched[fv] {
+				continue
+			}
+			pass.Reportf(name.Pos(), "field %s of pooled struct %s is not touched by %s (reset it, or annotate //dglint:allow scratchreset: <why carrying it is sound>)",
+				name.Name, ts.Name.Name, strings.Join(resetNames, "/"))
+		}
+	}
+}
+
+// fieldAllow reports whether the field carries a scratchreset allow
+// directive on its doc or line comment.
+func fieldAllow(pass *Pass, field *ast.Field) (reason string, ok bool) {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		for _, d := range directivesIn(g) {
+			if d.kind != dirAllow {
+				continue
+			}
+			analyzer, reason, ok := parseAllow(d.args)
+			if ok && analyzer == "scratchreset" {
+				return reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// embeddedName returns the implicit field name of an embedded field type
+// expression (T, *T, pkg.T, *pkg.T).
+func embeddedName(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// fieldNamed finds the struct field with the given name, or nil.
+func fieldNamed(st *types.Struct, name string) *types.Var {
+	if name == "" {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// resolveResetRoot resolves a reset root name: a method of the pooled type,
+// a package-level function, or Type.Method in the same package.
+func resolveResetRoot(pass *Pass, pooled *types.Named, name string) *types.Func {
+	if typeName, methName, ok := strings.Cut(name, "."); ok {
+		obj := pass.Pkg.Scope().Lookup(typeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		return methodNamed(named, methName)
+	}
+	if m := methodNamed(pooled, name); m != nil {
+		return m
+	}
+	if fn, ok := pass.Pkg.Scope().Lookup(name).(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// collectTouched records which fields of the pooled struct fd touches:
+// field selections on values of the struct type, composite-literal keys, and
+// whole-struct overwrites.
+func collectTouched(pass *Pass, fd *ast.FuncDecl, pooled *types.Named, fieldObjs map[*types.Var]bool, touched map[*types.Var]bool) {
+	if fd.Body == nil {
+		return
+	}
+	isPooledType := func(t types.Type) bool {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		return ok && n.Obj() == pooled.Obj()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if fv, ok := sel.Obj().(*types.Var); ok && fieldObjs[fv] {
+				touched[fv] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || !isPooledType(tv.Type) {
+				return true
+			}
+			// A composite literal always constructs a complete value: fields
+			// absent from a keyed literal are zeroed, not carried. Every field
+			// is therefore determined by the literal.
+			for fv := range fieldObjs {
+				touched[fv] = true
+			}
+		}
+		return true
+	})
+}
+
+// callees resolves the same-package functions and methods fd calls.
+func callees(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				fn, _ = sel.Obj().(*types.Func)
+			} else {
+				fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+		}
+		if fn != nil {
+			if decl, ok := decls[fn]; ok {
+				out = append(out, decl)
+			}
+		}
+		return true
+	})
+	return out
+}

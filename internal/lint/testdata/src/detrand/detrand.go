@@ -1,0 +1,107 @@
+// Package detrand is the fixture for the detrand analyzer: determinism
+// poison in simulation code.
+package detrand
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand poisons determinism`
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `time\.Now in simulation code poisons determinism`
+}
+
+func legacyRand() int {
+	return rand.Int()
+}
+
+// emit prints in map order: the PR 1 row-ordering bug class.
+func emit(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `call executed for effect inside map iteration`
+	}
+}
+
+// collectNoSort leaks map order into a slice that is never sorted.
+func collectNoSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `map iteration order reaches out, which is never sorted`
+	}
+	return out
+}
+
+// collectSorted is the blessed idiom: collect, then sort.
+func collectSorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// accumulate folds order-insensitively: integer sums, counters, min/max,
+// idempotent flags, writes into other maps, deletes.
+func accumulate(m map[int]int, inv map[int]int) (int, bool) {
+	sum, count, best := 0, 0, 0
+	found := false
+	for k, v := range m {
+		sum += v
+		count++
+		best = max(best, v)
+		found = true
+		inv[v] = k
+		delete(inv, k+1)
+	}
+	return sum + count + best, found
+}
+
+// floatSum accumulates floats in map order: rounding is order-dependent.
+func floatSum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation in map order`
+	}
+	return total
+}
+
+// lastWriter keeps whichever element iterates last.
+func lastWriter(m map[int]int) int {
+	var last int
+	for k := range m {
+		last = k // want `assignment to last inside map iteration`
+	}
+	return last
+}
+
+// firstReturn returns a randomized element.
+func firstReturn(m map[int]int) int {
+	for k := range m {
+		return k // want `return inside map iteration picks a randomized element`
+	}
+	return -1
+}
+
+// loopLocals may do anything with state scoped to the iteration.
+func loopLocals(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := 0
+		for _, v := range vs {
+			local += v
+		}
+		n += local
+	}
+	return n
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(m map[int]int) {
+	for k := range m {
+		//dglint:allow detrand: fixture demonstrates the justified escape hatch
+		fmt.Println(k)
+	}
+}

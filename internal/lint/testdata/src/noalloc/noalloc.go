@@ -1,0 +1,33 @@
+// Package noalloc is the fixture for the noalloc analyzer: hot-path
+// annotations paired with testing.AllocsPerRun gates.
+package noalloc
+
+// Hot is a pinned hot path with a live gate.
+//
+//dglint:noalloc gate=TestHotAllocs
+func Hot() {}
+
+// Orphan names a gate that does not exist.
+//
+//dglint:noalloc gate=TestMissing // want `noalloc gate TestMissing for Orphan not found`
+func Orphan() {}
+
+// Weak names a gate that never measures allocations.
+//
+//dglint:noalloc gate=TestWeak // want `noalloc gate TestWeak never calls testing\.AllocsPerRun`
+func Weak() {}
+
+// Malformed has no gate= argument.
+//
+//dglint:noalloc budget=5 // want `malformed //dglint:noalloc`
+func Malformed() {}
+
+// Bench names a benchmark, which cannot gate CI.
+//
+//dglint:noalloc gate=BenchmarkHot // want `not a Test function`
+func Bench() {}
+
+func misplaced() {
+	//dglint:noalloc gate=TestHotAllocs // want `must be in the doc comment`
+	_ = 0
+}

@@ -1,0 +1,19 @@
+package noalloc
+
+import "testing"
+
+func TestHotAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(10, Hot); n > 0 {
+		t.Fatalf("Hot allocates %v times per run, want 0", n)
+	}
+}
+
+func TestWeak(t *testing.T) {
+	Weak()
+}
+
+func BenchmarkHot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hot()
+	}
+}

@@ -1,0 +1,83 @@
+// Package scratchreset is the fixture for the scratchreset analyzer:
+// pooled structs whose reset path must touch every field.
+package scratchreset
+
+// pool is a pooled buffer set with a multi-root reset path: reset clears
+// the eager buffers (via a helper), sizeAux lazily sizes the rest.
+//
+//dglint:pooled reset=reset,sizeAux
+type pool struct {
+	a      []int
+	b      []bool
+	aux    []int
+	cached map[int]int //dglint:allow scratchreset: memoized per configuration; carrying it across trials is the point
+	leaked []int       // want `field leaked of pooled struct pool is not touched by reset/sizeAux`
+}
+
+func (p *pool) reset(n int) {
+	p.a = p.a[:0]
+	p.clearB(n)
+}
+
+func (p *pool) clearB(n int) {
+	for i := range p.b {
+		p.b[i] = false
+	}
+}
+
+func (p *pool) sizeAux(n int) []int {
+	if cap(p.aux) < n {
+		p.aux = make([]int, n)
+	}
+	return p.aux[:n]
+}
+
+// factory resets proc slabs, the process-arena pattern.
+type factory struct{}
+
+// proc is pooled through factory.Reset, which delegates to a package
+// helper; the helper's touches count via the call-graph closure.
+//
+//dglint:pooled reset=factory.Reset
+type proc struct {
+	x int
+	y int // want `field y of pooled struct proc is not touched by factory\.Reset`
+}
+
+func (factory) Reset(ps []*proc) {
+	for _, p := range ps {
+		resetProc(p)
+	}
+}
+
+func resetProc(p *proc) { p.x = 0 }
+
+// wiped is reset by overwriting the whole struct, which touches every
+// field at once.
+//
+//dglint:pooled reset=zero
+type wiped struct {
+	m int
+	n int
+}
+
+func (w *wiped) zero() { *w = wiped{} }
+
+// keyedReset rebuilds itself with a keyed literal: the literal constructs a
+// complete value, so the unlisted q is zeroed — every field counts as
+// touched.
+//
+//dglint:pooled reset=rebuild
+type keyedReset struct {
+	p int
+	q int
+}
+
+func (k *keyedReset) rebuild() { *k = keyedReset{p: 1} }
+
+// orphan names a reset root that does not exist.
+//
+//dglint:pooled reset=Missing // want `reset root "Missing" not found`
+type orphan struct {
+	z int
+}

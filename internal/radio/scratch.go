@@ -14,6 +14,8 @@ import (
 // the allocation profile, so completed executions return their scratch to a
 // pool and the next trial reuses it. grow re-clears everything an execution
 // reads before writing, so pooling never leaks state between trials.
+//
+//dglint:pooled reset=grow,clique,rumor,arenaStore,arenaDrop
 type scratch struct {
 	txFlag   []bool
 	counts   []int32
@@ -45,16 +47,16 @@ type scratch struct {
 	monRumor []int
 	monRows  [][]int
 	// pooled monitor structs.
-	globalMon globalMonitor
-	localMon  localMonitor
-	gossipMon gossipMonitor
+	globalMon globalMonitor //dglint:allow scratchreset: newGlobalMonitor overwrites the whole struct each execution
+	localMon  localMonitor  //dglint:allow scratchreset: newLocalMonitor overwrites the whole struct each execution
+	gossipMon gossipMonitor //dglint:allow scratchreset: newGossipMonitor overwrites the whole struct each execution
 
 	// per-node rng storage: nodeRngs[u] points into rngBlock, reseeded per
 	// execution. algRng is the algorithm-construction stream, reseeded the
 	// same way. probers caches the per-node TransmitProber views.
 	nodeRngs []*bitrand.Source
 	rngBlock []bitrand.Source
-	algRng   bitrand.Source
+	algRng   bitrand.Source //dglint:allow scratchreset: newEngine reseeds it before any draw, every execution
 	probers  []TransmitProber
 
 	// Process arena: the slab of the last execution that used this scratch,
@@ -76,7 +78,7 @@ type scratch struct {
 
 	// recorder delivery buffer, reused each round; handed to Recorder.Record
 	// and valid only during the call.
-	recordBuf []Delivery
+	recordBuf []Delivery //dglint:allow scratchreset: the engine reslices it to [:0] before first use each execution
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
