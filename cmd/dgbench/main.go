@@ -1,5 +1,7 @@
 // Command dgbench runs the reproduction experiment suite — one experiment
-// per cell of the paper's Figure 1 plus lemma checks and ablations — and
+// per cell of the paper's Figure 1 plus lemma checks, ablations, the
+// epoch-churn scenarios, and the SCALE-n family (decay broadcast at
+// n = 10³–10⁵, exercising the engine's word-parallel delivery plan) — and
 // prints the measured tables next to the paper's claims.
 //
 // Examples:

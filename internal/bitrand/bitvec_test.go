@@ -1,0 +1,83 @@
+package bitrand
+
+import "testing"
+
+func TestWordsFor(t *testing.T) {
+	cases := [][2]int{{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {1000, 16}}
+	for _, c := range cases {
+		if got := WordsFor(c[0]); got != c[1] {
+			t.Errorf("WordsFor(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	w := make([]uint64, WordsFor(200))
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 199} {
+		if TestBit(w, i) {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+		SetBit(w, i)
+		if !TestBit(w, i) {
+			t.Fatalf("bit %d not set after SetBit", i)
+		}
+	}
+	if got := OnesCount(w); got != 7 {
+		t.Fatalf("OnesCount = %d, want 7", got)
+	}
+	ClearBit(w, 64)
+	if TestBit(w, 64) {
+		t.Fatal("bit 64 still set after ClearBit")
+	}
+	if got := OnesCount(w); got != 6 {
+		t.Fatalf("OnesCount after clear = %d, want 6", got)
+	}
+}
+
+// TestIntersectOneExhaustive cross-checks IntersectOne against a naive
+// per-bit scan on random vectors of varied densities and lengths.
+func TestIntersectOneExhaustive(t *testing.T) {
+	src := New(0xb17)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + src.Intn(260)
+		w := WordsFor(n)
+		a := make([]uint64, w)
+		b := make([]uint64, w)
+		// Density varies from near-empty to near-full across trials.
+		ka := src.Intn(n + 1)
+		kb := src.Intn(n/8 + 2)
+		for i := 0; i < kb; i++ {
+			SetBit(a, src.Intn(n))
+		}
+		for i := 0; i < ka; i++ {
+			SetBit(b, src.Intn(n))
+		}
+		wantCount, wantIdx := 0, -1
+		for i := 0; i < n; i++ {
+			if TestBit(a, i) && TestBit(b, i) {
+				wantCount++
+				if wantCount == 1 {
+					wantIdx = i
+				}
+			}
+		}
+		if wantCount > 1 {
+			wantCount, wantIdx = 2, -1
+		}
+		gotCount, gotIdx := IntersectOne(a, b)
+		if gotCount != wantCount || gotIdx != wantIdx {
+			t.Fatalf("trial %d (n=%d): IntersectOne = (%d, %d), want (%d, %d)",
+				trial, n, gotCount, gotIdx, wantCount, wantIdx)
+		}
+	}
+}
+
+func TestIntersectOneShortA(t *testing.T) {
+	// b longer than a: only len(a) words are read.
+	a := []uint64{1 << 5}
+	b := []uint64{1<<5 | 1<<9, ^uint64(0)}
+	count, idx := IntersectOne(a, b)
+	if count != 1 || idx != 5 {
+		t.Fatalf("IntersectOne = (%d, %d), want (1, 5)", count, idx)
+	}
+}

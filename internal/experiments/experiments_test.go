@@ -26,6 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"F1-static-local",
 		"L3.2-hitting",
 		"L4.2-permdecay",
+		"SCALE-n",
 		"T3.1-reduction",
 	}
 	all := All()

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"sync"
+
+	"repro/internal/bitrand"
+)
+
+// NeighborMasks is the word-parallel adjacency representation of a graph:
+// one bitmap row per node, bit v of row u set iff (u, v) is an edge. The
+// engine's bitset delivery path intersects a row with the round's
+// transmitter bitmap to classify reception 64 candidate senders per word.
+//
+// Rows cost n²/64 bits total (n·WordsFor(n) words), quadratic in n where the
+// CSR arrays are linear in the edge count — which is why the engine builds
+// masks only when n and density make the bitmap path win, and why the memo
+// below shares one build across every trial on the same graph.
+type NeighborMasks struct {
+	// W is the row stride in 64-bit words: WordsFor(n).
+	W int
+	// rows is the flat n·W backing array; row u is rows[u*W : (u+1)*W].
+	rows []uint64
+}
+
+// Row returns node u's neighbor bitmap as a zero-copy view into the flat
+// backing array. Like Graph.Neighbors, the view is shared and read-only.
+func (m *NeighborMasks) Row(u NodeID) []uint64 { return m.rows[u*m.W : (u+1)*m.W] }
+
+// Rows exposes the flat backing array for hot loops that index rows
+// themselves (row u starts at u*W). Read-only.
+func (m *NeighborMasks) Rows() []uint64 { return m.rows }
+
+// BuildNeighborMasks constructs the bitmap adjacency of g from its CSR rows.
+func BuildNeighborMasks(g *Graph) *NeighborMasks {
+	n := g.N()
+	w := bitrand.WordsFor(n)
+	m := &NeighborMasks{W: w, rows: make([]uint64, n*w)}
+	offs, adj := g.CSR()
+	for u := 0; u < n; u++ {
+		row := m.rows[u*w : (u+1)*w]
+		for _, v := range adj[offs[u]:offs[u+1]] {
+			row[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	return m
+}
+
+// maskCache memoizes a graph's neighbor masks (see NeighborMasksOf).
+type maskCache struct {
+	once sync.Once
+	m    *NeighborMasks
+}
+
+// NeighborMasksOf returns BuildNeighborMasks(g), computed once per graph and
+// shared afterwards — the same memoization contract as CliqueCoverOf: graphs
+// are immutable, so repeated trials (and successive epochs that revisit a
+// revision) reuse one mask set instead of rebuilding n·W words per
+// execution. The returned masks are read-only and live as long as the graph.
+func NeighborMasksOf(g *Graph) *NeighborMasks {
+	g.masks.once.Do(func() { g.masks.m = BuildNeighborMasks(g) })
+	return g.masks.m
+}

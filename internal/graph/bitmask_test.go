@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+)
+
+// maskNeighbors lists the set bits of a mask row.
+func maskNeighbors(m *NeighborMasks, u NodeID, n int) []NodeID {
+	var out []NodeID
+	row := m.Row(u)
+	for v := 0; v < n; v++ {
+		if bitrand.TestBit(row, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestNeighborMasksMatchCSR(t *testing.T) {
+	src := bitrand.New(0x3a5c)
+	for _, g := range []*Graph{
+		Line(5), Ring(9), Clique(17), Star(64), Grid(8, 9),
+		ErdosRenyi(src, 130, 0.07),
+		Circulant(100, 12),
+	} {
+		n := g.N()
+		m := BuildNeighborMasks(g)
+		if m.W != bitrand.WordsFor(n) {
+			t.Fatalf("n=%d: W = %d, want %d", n, m.W, bitrand.WordsFor(n))
+		}
+		for u := 0; u < n; u++ {
+			got := maskNeighbors(m, u, n)
+			want := g.Neighbors(u)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d node %d: mask row has %d neighbors, CSR has %d", n, u, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d node %d: mask neighbors %v != CSR %v", n, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborMasksOfMemoizes(t *testing.T) {
+	g := Ring(33)
+	m1 := NeighborMasksOf(g)
+	m2 := NeighborMasksOf(g)
+	if m1 != m2 {
+		t.Fatal("NeighborMasksOf rebuilt the masks for the same graph")
+	}
+	if m1 == NeighborMasksOf(Ring(33)) {
+		t.Fatal("distinct graphs share a mask cache")
+	}
+}
+
+func TestNeighborMasksRowAliasing(t *testing.T) {
+	g := Clique(70) // two words per row: exercises the stride
+	m := BuildNeighborMasks(g)
+	for u := 0; u < g.N(); u++ {
+		row := m.Row(u)
+		if len(row) != m.W {
+			t.Fatalf("row %d has %d words, want %d", u, len(row), m.W)
+		}
+		if bitrand.TestBit(row, u) {
+			t.Fatalf("row %d has its own bit set (self-loop)", u)
+		}
+	}
+}

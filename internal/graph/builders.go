@@ -346,6 +346,70 @@ func ErdosRenyi(src *bitrand.Source, n int, p float64) *Graph {
 	return b.Build()
 }
 
+// Circulant returns the circulant graph C_n(1..d/2): node u is adjacent to
+// u±k (mod n) for k = 1..d/2, so every node has degree 2·⌊d/2⌋ (clamped
+// below n). Unlike ErdosRenyi this costs O(n·d), not O(n²), which makes it
+// the dense-but-buildable substrate of the SCALE experiments: diameter
+// ⌈n/d⌉-ish, vertex-transitive, deterministic.
+func Circulant(n, d int) *Graph {
+	half := d / 2
+	if half >= n/2 {
+		half = (n - 1) / 2
+	}
+	if half < 1 {
+		half = 1
+	}
+	b := NewBuilder(n)
+	b.Grow(n * half)
+	for u := 0; u < n; u++ {
+		for k := 1; k <= half; k++ {
+			b.AddEdge(u, (u+k)%n)
+		}
+	}
+	return b.Build()
+}
+
+// RingChords returns a ring on n nodes augmented with the given number of
+// uniformly sampled chords: connected by construction, O(n + chords) to
+// build, with the small diameter of a random bounded-degree expander. This
+// is the sparse large-n substrate of the SCALE experiments, where the O(n²)
+// pair scans of ErdosRenyi/RandomDual are infeasible.
+func RingChords(src *bitrand.Source, n, chords int) *Graph {
+	b := NewBuilder(n)
+	b.Grow(n + chords)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	if n > 2 {
+		b.AddEdge(n-1, 0)
+	}
+	for i := 0; i < chords; i++ {
+		// Self-loops are dropped by AddEdge and duplicates by Build, so the
+		// realized chord count may fall slightly short of the request.
+		b.AddEdge(src.Intn(n), src.Intn(n))
+	}
+	return b.Build()
+}
+
+// AugmentDual builds a dual graph whose reliable part is g and whose G' adds
+// the given number of uniformly sampled non-G pairs. The direct sampling
+// costs O(|E| + extra), unlike RandomDual's O(n²) pair scan; pairs that land
+// on an existing edge (or a repeat draw) are dropped, so the realized E'\E
+// may fall slightly short of the request on dense graphs.
+func AugmentDual(src *bitrand.Source, g *Graph, extra int) *Dual {
+	n := g.N()
+	b := NewBuilder(n)
+	b.Grow(g.NumEdges() + extra)
+	g.ForEachEdge(b.AddEdge)
+	for i := 0; i < extra; i++ {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	}
+	return MustDual(g, b.Build())
+}
+
 // RandomDual builds a dual graph whose reliable part is the given connected
 // graph and whose G' adds each non-G pair independently with probability
 // extraP. Used for unstructured robustness tests.

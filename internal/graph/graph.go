@@ -37,6 +37,9 @@ type Graph struct {
 	// immutable, so the cover is computed at most once per graph and shared
 	// by every trial that runs on it.
 	cover coverCache
+	// masks memoizes BuildNeighborMasks(g) (see NeighborMasksOf) under the
+	// same immutability contract.
+	masks maskCache
 }
 
 // Builder accumulates edges for a Graph as a flat list of packed (u, v) keys;

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+)
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(100, 8)
+	if g.N() != 100 {
+		t.Fatalf("N = %d, want 100", g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d != 8 {
+			t.Fatalf("node %d has degree %d, want 8", u, d)
+		}
+		for k := 1; k <= 4; k++ {
+			if !g.HasEdge(u, (u+k)%100) {
+				t.Fatalf("missing circulant edge (%d, %d)", u, (u+k)%100)
+			}
+		}
+	}
+	if !Connected(g) {
+		t.Fatal("circulant graph disconnected")
+	}
+	if g.NumEdges() != 100*4 {
+		t.Fatalf("NumEdges = %d, want 400", g.NumEdges())
+	}
+	// Degree clamps below n: a circulant asked for more than n-1 neighbors
+	// per node is the complete graph.
+	k := Circulant(7, 100)
+	if k.NumEdges() != 7*6/2 {
+		t.Fatalf("over-dense circulant has %d edges, want complete 21", k.NumEdges())
+	}
+}
+
+func TestRingChords(t *testing.T) {
+	src := bitrand.New(0x5ca1e)
+	g := RingChords(src, 500, 800)
+	if g.N() != 500 {
+		t.Fatalf("N = %d, want 500", g.N())
+	}
+	if !Connected(g) {
+		t.Fatal("ring+chords disconnected")
+	}
+	// The ring is always present.
+	for i := 0; i < 500; i++ {
+		if !g.HasEdge(i, (i+1)%500) {
+			t.Fatalf("missing ring edge (%d, %d)", i, (i+1)%500)
+		}
+	}
+	// Most chords land (self-loops and duplicates are rare at this density).
+	if g.NumEdges() < 500+800/2 {
+		t.Fatalf("only %d edges; chords did not land", g.NumEdges())
+	}
+	// Deterministic given the source state.
+	g2 := RingChords(bitrand.New(0x5ca1e), 500, 800)
+	if g.NumEdges() != g2.NumEdges() {
+		t.Fatal("RingChords not deterministic for a fixed seed")
+	}
+}
+
+func TestAugmentDual(t *testing.T) {
+	src := bitrand.New(0xd0a1)
+	g := Ring(300)
+	d := AugmentDual(src, g, 600)
+	if d.G() != g {
+		t.Fatal("AugmentDual replaced the reliable graph")
+	}
+	if d.NumExtraEdges() < 600/2 {
+		t.Fatalf("only %d extra edges landed", d.NumExtraEdges())
+	}
+	// Every extra edge is a non-G pair.
+	for u := 0; u < d.N(); u++ {
+		for _, v := range d.ExtraNeighbors(u) {
+			if g.HasEdge(u, v) {
+				t.Fatalf("extra edge (%d, %d) is also a G edge", u, v)
+			}
+		}
+	}
+}

@@ -31,12 +31,17 @@ var ViewEscape = &Analyzer{
 	Run:  runViewEscape,
 }
 
-// viewMethodNames are the view-returning accessors of the graph API.
+// viewMethodNames are the view-returning accessors of the graph API. Row and
+// Rows are the NeighborMasks accessors: mask rows are per-graph storage with
+// exactly the CSR views' lifetime, so a stashed row goes just as stale at an
+// epoch swap.
 var viewMethodNames = map[string]bool{
 	"Neighbors":      true,
 	"ExtraNeighbors": true,
 	"CSR":            true,
 	"ExtraCSR":       true,
+	"Row":            true,
+	"Rows":           true,
 }
 
 func runViewEscape(pass *Pass) {
@@ -81,7 +86,8 @@ func isViewCall(pass *Pass, e ast.Expr) bool {
 	}
 	obj := named.Obj()
 	name := obj.Name()
-	return (name == "Graph" || name == "Dual") && obj.Pkg() != nil && obj.Pkg().Name() == "graph"
+	return (name == "Graph" || name == "Dual" || name == "NeighborMasks") &&
+		obj.Pkg() != nil && obj.Pkg().Name() == "graph"
 }
 
 // checkViewEscapes analyzes one function body: first a taint pass over

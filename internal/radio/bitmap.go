@@ -1,0 +1,174 @@
+package radio
+
+import (
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// DeliveryPlan selects the engine's delivery implementation. The two paths
+// compute the identical reception relation — a listener receives iff exactly
+// one of its round-topology neighbors transmits, with collisions and silence
+// indistinguishable — so the plan changes cost, never outcome (the
+// differential equivalence tests enforce this bit for bit).
+type DeliveryPlan int
+
+const (
+	// PlanAuto (the zero value) re-derives the plan at every epoch commit:
+	// the bitmap path when the epoch's n and G' density clear the thresholds
+	// below and no recorder or clique cover is attached, the CSR walk
+	// otherwise. Within a bitmap epoch, rounds with fewer transmitters than
+	// the bitmap row width fall back to the CSR walk per round — the scalar
+	// walk is O(Σ deg(tx)) and beats the O(n·W) row scan on sparse rounds.
+	PlanAuto DeliveryPlan = iota
+	// PlanScalar forces the CSR walk.
+	PlanScalar
+	// PlanBitmap forces the word-parallel path for every round, at any n.
+	// With a Recorder attached, deliveries are reported in ascending node
+	// order rather than the CSR walk's discovery order (the set of
+	// deliveries is identical).
+	PlanBitmap
+)
+
+// Auto-plan thresholds. The bitmap path costs n·W words per round (W =
+// WordsFor(n)) against the scalar walk's Σ_x deg(x) adds, so it wins when
+// the average transmitting neighborhood clears ~n/64 — hence the density
+// gate avg G' degree ≥ n/64 (E(G') ≥ n²/128). Below bitmapMinNodes the
+// rounds are too cheap for the plan to matter; above bitmapMaxNodes the
+// n²/64-bit masks (128 MiB per graph at the cap) cost more memory than the
+// speedup is worth, and SCALE-scale sparse networks stay on the CSR walk.
+const (
+	bitmapMinNodes = 2048
+	bitmapMaxNodes = 1 << 15
+)
+
+// setupPlan derives the delivery plan for the current epoch's topology:
+// called once at engine construction and again at every epoch swap, so churn
+// re-plans at O(revision) cost (masks memoize per graph revision; repeated
+// trials and revisits share one build). It hoists the epoch's mask rows and,
+// for a committed static selector, rebuilds the combined selector mask.
+func (e *engine) setupPlan() {
+	e.plan = PlanScalar
+	e.gRows, e.gpRows, e.staticRows = nil, nil, nil
+	switch e.cfg.Plan {
+	case PlanScalar:
+		return
+	case PlanAuto:
+		if e.cfg.UseCliqueCover || e.cfg.Recorder != nil {
+			return
+		}
+		if e.n < bitmapMinNodes || e.n > bitmapMaxNodes {
+			return
+		}
+		if e.net.GPrime().NumEdges() < e.n*e.n/128 {
+			return
+		}
+		e.bitmapTxMin = bitrand.WordsFor(e.n)
+	case PlanBitmap:
+		e.bitmapTxMin = 0
+	}
+	e.plan = PlanBitmap
+	e.maskW = bitrand.WordsFor(e.n)
+	//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
+	e.gRows = graph.NeighborMasksOf(e.net.G()).Rows()
+	if e.cfg.Link != nil {
+		//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
+		e.gpRows = graph.NeighborMasksOf(e.net.GPrime()).Rows()
+	}
+	e.txWords = e.sc.txBitmap(e.maskW)
+	if e.staticSel != nil {
+		e.buildStaticRows()
+	}
+}
+
+// buildStaticRows materializes the round topology of a committed static
+// selector as mask rows: the G rows with the selected E'\E edges ORed in.
+// Built once per epoch into the pooled slab (the committed selector never
+// changes mid-execution), so each round intersects one precomputed row set
+// instead of re-filtering extra edges per transmitter.
+func (e *engine) buildStaticRows() {
+	w := e.maskW
+	rows := e.sc.staticMask(e.n, w)
+	copy(rows, e.gRows)
+	offs, adj := e.net.ExtraCSR()
+	for v := 0; v < e.n; v++ {
+		for _, u := range adj[offs[v]:offs[v+1]] {
+			// v is a potential sender for u; selectors are symmetric, and the
+			// CSR lists each undirected edge in both rows, so this single
+			// orientation covers both directions across the outer loop.
+			if e.staticSel.Includes(v, u) {
+				rows[u*w+(v>>6)] |= 1 << (uint(v) & 63)
+			}
+		}
+	}
+	e.staticRows = rows
+}
+
+// roundRows returns the mask rows matching this round's topology, or nil
+// when the selector has no precomputed mask (an adaptive selector that is
+// neither all nor none), which keeps that round on the scalar walk.
+func (e *engine) roundRows(selector graph.EdgeSelector) []uint64 {
+	switch {
+	case selector.None():
+		return e.gRows
+	case selector.All():
+		return e.gpRows
+	case e.staticRows != nil:
+		// A non-nil staticRows means the committed schedule replays exactly
+		// one selector every round, and this is it.
+		return e.staticRows
+	}
+	return nil
+}
+
+// deliverBitmap is the word-parallel delivery path: fill the transmitter
+// bitmap once (W words + one bit per transmitter), then classify every
+// listener with a single masked-popcount scan of its neighbor row — 64
+// candidate senders per word, early-exiting at the second hit. Exactly one
+// set bit in txWords ∧ row(u) means u receives from the bit's index
+// (trailing zeros); zero or ≥2 deliver nil, preserving collision/silence
+// indistinguishability by construction.
+//
+//dglint:noalloc gate=TestBitmapDeliveryAllocs
+func (e *engine) deliverBitmap(r int, res *Result, rows []uint64) []Delivery {
+	w := e.maskW
+	txw := e.txWords
+	clear(txw)
+	for _, v := range e.tx {
+		txw[v>>6] |= 1 << (uint(v) & 63)
+		e.txFlag[v] = true
+	}
+
+	var recorded []Delivery
+	record := e.cfg.Recorder != nil
+	if record {
+		recorded = e.recordBuf[:0]
+	}
+	for u := 0; u < e.n; u++ {
+		if e.txFlag[u] {
+			// Transmitters hear nothing (a radio cannot receive while
+			// transmitting), exactly as the scalar walk's txFlag guard.
+			e.procs[u].Deliver(r, nil)
+			continue
+		}
+		count, from := bitrand.IntersectOne(txw, rows[u*w:(u+1)*w])
+		if count == 1 {
+			msg := e.msgOf[from]
+			e.procs[u].Deliver(r, msg)
+			e.mon.observe(r, u, msg)
+			res.Deliveries++
+			if record {
+				recorded = append(recorded, Delivery{To: u, From: from})
+			}
+		} else {
+			e.procs[u].Deliver(r, nil)
+		}
+	}
+	if record {
+		// Keep the append-grown buffer for the next round.
+		e.recordBuf = recorded[:0]
+	}
+	for _, v := range e.tx {
+		e.txFlag[v] = false
+	}
+	return recorded
+}

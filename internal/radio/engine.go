@@ -53,8 +53,16 @@ type Config struct {
 	// Seed drives all randomness: node coins, algorithm setup, adversary.
 	Seed uint64
 	// MaxRounds bounds the execution; 0 selects a generous default of
-	// 64·n², covering every algorithm in this repository with slack.
+	// 64·n², covering every algorithm in this repository with slack. The
+	// default only applies up to maxDefaultRoundsNodes nodes: beyond that,
+	// 64·n² is an accidental near-infinite budget (6.4×10¹¹ rounds at
+	// n = 10⁵), so large configurations must set MaxRounds explicitly or Run
+	// fails with ErrBadConfig.
 	MaxRounds int
+	// Plan selects the delivery implementation (see DeliveryPlan). The zero
+	// value PlanAuto re-derives the choice at every epoch commit; delivered
+	// bits are identical under every plan.
+	Plan DeliveryPlan
 	// Recorder, when non-nil, receives per-round trace records.
 	Recorder Recorder
 	// UseCliqueCover enables the clique-tally delivery accelerator, which
@@ -116,6 +124,13 @@ func Run(cfg Config) (Result, error) {
 // ErrBadConfig wraps configuration validation failures.
 var ErrBadConfig = errors.New("radio: bad config")
 
+// maxDefaultRoundsNodes is the largest network the 64·n² MaxRounds default
+// applies to. Every algorithm in this repository completes in far fewer
+// rounds at that size, and beyond it the quadratic default stops being a
+// safety net and becomes a footgun (6.4×10¹¹ rounds at n = 10⁵), so larger
+// configurations must state their budget.
+const maxDefaultRoundsNodes = 4096
+
 type engine struct {
 	cfg   Config
 	net   *graph.Dual
@@ -150,6 +165,26 @@ type engine struct {
 	// gOffs[v+1]] is v's reliable neighbor row, exOffs/exAdj the E'\E rows.
 	gOffs, exOffs []int32
 	gAdj, exAdj   []graph.NodeID
+
+	// Word-parallel delivery state, derived per epoch by setupPlan. plan is
+	// the epoch's resolved delivery plan (never PlanAuto); when it is
+	// PlanBitmap, maskW is the row stride in words, gRows/gpRows the hoisted
+	// flat mask rows of the epoch's G and G' (gpRows nil without a link),
+	// staticRows the combined rows of a committed static selector (else
+	// nil), txWords the pooled transmitter bitmap, and bitmapTxMin the
+	// per-round transmitter count below which the scalar walk is cheaper (0
+	// when the plan is forced). bulkSteps[u] is non-nil when procs[u]
+	// implements BulkStepper; allBulk reports whether every entry is.
+	plan        DeliveryPlan
+	maskW       int
+	bitmapTxMin int
+	gRows       []uint64
+	gpRows      []uint64
+	staticRows  []uint64
+	staticSel   graph.EdgeSelector
+	txWords     []uint64
+	bulkSteps   []BulkStepper
+	allBulk     bool
 
 	txByNode []int64
 
@@ -207,7 +242,17 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	n := cfg.Net.N()
 	if cfg.MaxRounds <= 0 {
+		if n > maxDefaultRoundsNodes {
+			return nil, fmt.Errorf("%w: no MaxRounds set for n=%d nodes; the 64·n² default (%d rounds) only applies up to n=%d — set an explicit round budget",
+				ErrBadConfig, n, 64*n*n, maxDefaultRoundsNodes)
+		}
 		cfg.MaxRounds = 64 * n * n
+	}
+	if cfg.Plan < PlanAuto || cfg.Plan > PlanBitmap {
+		return nil, fmt.Errorf("%w: unknown delivery plan %d", ErrBadConfig, cfg.Plan)
+	}
+	if cfg.Plan == PlanBitmap && cfg.UseCliqueCover {
+		return nil, fmt.Errorf("%w: PlanBitmap and UseCliqueCover are mutually exclusive delivery accelerators", ErrBadConfig)
 	}
 	e := &engine{cfg: cfg, net: cfg.Net, n: n, epochs: cfg.Epochs, sc: getScratch(n)}
 	//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
@@ -247,12 +292,17 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 	}
 	e.probers = e.sc.probers
+	e.bulkSteps = e.sc.bulkSteps
+	e.allBulk = true
 	for u, p := range e.procs {
 		if tp, ok := p.(TransmitProber); ok {
 			e.probers[u] = tp
 		} else {
 			e.probers[u] = nil
 		}
+		bs, ok := p.(BulkStepper)
+		e.bulkSteps[u] = bs
+		e.allBulk = e.allBulk && ok
 	}
 	e.nodeRngs = e.sc.nodeRngs
 	for u := range e.nodeRngs {
@@ -324,6 +374,16 @@ func newEngine(cfg Config) (*engine, error) {
 	if e.accel != nil {
 		e.cliqueTx, e.cliqueS = e.sc.clique(e.accel.Count)
 	}
+
+	// A committed schedule that replays one fixed selector (neither all nor
+	// none) gets its round topology precomputed as mask rows when the bitmap
+	// plan is active. Detected here, once: the committed schedule is fixed
+	// for the whole execution.
+	if ss, ok := e.committed.(StaticSchedule); ok && ss.Selector != nil &&
+		!ss.Selector.All() && !ss.Selector.None() {
+		e.staticSel = ss.Selector
+	}
+	e.setupPlan()
 	return e, nil
 }
 
@@ -388,6 +448,10 @@ func (e *engine) swapEpoch() {
 		e.accel = graph.CliqueCoverOf(net.G())
 		e.cliqueTx, e.cliqueS = e.sc.clique(e.accel.Count)
 	}
+	// Re-derive the delivery plan for the new topology: density can differ
+	// per revision, and the mask rows (memoized per graph) must re-hoist
+	// exactly like the CSR views above.
+	e.setupPlan()
 }
 
 func (e *engine) fill(res *Result) {
@@ -463,20 +527,39 @@ func (e *engine) step(r int, res *Result) {
 		selector = e.online.ChooseOnline(e.env, view)
 	}
 
-	// 2. Flip the coins: every process steps.
+	// 2. Flip the coins: every process steps. When every process is a
+	// BulkStepper and the bitmap plan is active, the engine runs the round's
+	// Bernoulli trials itself — same per-node streams, same ascending order,
+	// so the draws are bit-for-bit identical to the Step dispatch — and
+	// fills the transmit set without constructing Actions.
 	e.tx = e.tx[:0]
-	for u, p := range e.procs {
-		act := p.Step(r, e.nodeRngs[u])
-		if act.Transmit {
-			if act.Msg == nil {
-				// A transmission without a message is treated as noise: it
-				// occupies the channel but delivers nothing. The cached
-				// per-node frame avoids an allocation per transmission.
-				act.Msg = &e.noise[u]
+	if e.allBulk && e.plan == PlanBitmap {
+		for u, bs := range e.bulkSteps {
+			if e.nodeRngs[u].Coin(bs.TransmitProb(r)) {
+				msg := bs.Frame(r)
+				if msg == nil {
+					msg = &e.noise[u]
+				}
+				e.tx = append(e.tx, u)
+				e.msgOf[u] = msg
+				e.txByNode[u]++
 			}
-			e.tx = append(e.tx, u)
-			e.msgOf[u] = act.Msg
-			e.txByNode[u]++
+		}
+	} else {
+		for u, p := range e.procs {
+			act := p.Step(r, e.nodeRngs[u])
+			if act.Transmit {
+				if act.Msg == nil {
+					// A transmission without a message is treated as noise:
+					// it occupies the channel but delivers nothing. The
+					// cached per-node frame avoids an allocation per
+					// transmission.
+					act.Msg = &e.noise[u]
+				}
+				e.tx = append(e.tx, u)
+				e.msgOf[u] = act.Msg
+				e.txByNode[u]++
+			}
 		}
 	}
 	res.Transmissions += int64(len(e.tx))
@@ -516,6 +599,17 @@ func (e *engine) step(r int, res *Result) {
 //
 //dglint:noalloc gate=TestHotPathAllocs
 func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Delivery {
+	// Word-parallel dispatch: rounds whose selector has precomputed mask
+	// rows and enough transmitters to beat the CSR walk go through the
+	// bitmap kernel. The complete-graph fast path below stays first in line
+	// (it is O(n) with no per-word work).
+	if e.plan == PlanBitmap && len(e.tx) >= e.bitmapTxMin &&
+		!(selector.All() && e.net.UnionComplete()) {
+		if rows := e.roundRows(selector); rows != nil {
+			return e.deliverBitmap(r, res, rows)
+		}
+	}
+
 	for _, v := range e.tx {
 		e.txFlag[v] = true
 	}

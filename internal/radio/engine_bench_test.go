@@ -3,6 +3,7 @@ package radio_test
 import (
 	"testing"
 
+	"repro/internal/bitrand"
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/graph"
@@ -55,6 +56,55 @@ func BenchmarkEngineRoundDelivery(b *testing.B) {
 	br, _ := graph.Bracelet(512, 1)
 	b.Run("bracelet/n=512", func(b *testing.B) { run(b, br, globalSpec, nil, false) })
 	b.Run("bracelet/n=512/all-link", func(b *testing.B) { run(b, br, globalSpec, allLink{}, false) })
+
+	// Word-parallel delivery on a SCALE-class circulant: n = 10⁴, degree
+	// 2048, every node an aloha broadcaster at p = 1/2, so every round
+	// carries ~n/2 transmitters — the regime the bitmap kernel exists for.
+	// The scalar row walks ~10M adjacency entries per round; the bitmap row
+	// classifies every listener in a couple of masked popcounts
+	// (BENCH_pr7.json tracks the ratio). PlanAuto resolves to the same bitmap
+	// path here (dense rounds, thresholds cleared), measured separately to
+	// pin the hybrid dispatch overhead.
+	// Built lazily: the benchmark function body re-runs for every selected
+	// sub-benchmark, and the ~20M-entry CSR would otherwise bloat the live
+	// heap (and every small sub-bench's GC bill) even when no dense row is
+	// selected.
+	var dense *graph.Dual
+	var denseSpec radio.Spec
+	mkDense := func() {
+		if dense != nil {
+			return
+		}
+		dense = graph.AugmentDual(bitrand.New(0xd), graph.Circulant(10000, 2048), 20000)
+		everyone := make([]graph.NodeID, dense.N())
+		for u := range everyone {
+			everyone[u] = u
+		}
+		denseSpec = radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyone}
+	}
+	runDense := func(b *testing.B, plan radio.DeliveryPlan) {
+		b.Helper()
+		mkDense()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := radio.Run(radio.Config{
+				Net:              dense,
+				Algorithm:        core.Aloha{P: 0.5},
+				Spec:             denseSpec,
+				Seed:             uint64(i),
+				MaxRounds:        32,
+				Plan:             plan,
+				IgnoreCompletion: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dense/n=10000/scalar", func(b *testing.B) { runDense(b, radio.PlanScalar) })
+	b.Run("dense/n=10000/bitmap", func(b *testing.B) { runDense(b, radio.PlanBitmap) })
+	b.Run("dense/n=10000/auto", func(b *testing.B) { runDense(b, radio.PlanAuto) })
 }
 
 // BenchmarkEpochSwap measures full trials under a topology schedule against

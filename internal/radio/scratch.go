@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"math/bits"
 	"slices"
 	"sync"
 
@@ -15,8 +16,12 @@ import (
 // pool and the next trial reuses it. grow re-clears everything an execution
 // reads before writing, so pooling never leaks state between trials.
 //
-//dglint:pooled reset=grow,clique,rumor,arenaStore,arenaDrop
+//dglint:pooled reset=grow,clique,rumor,arenaStore,arenaDrop,txBitmap,staticMask
 type scratch struct {
+	// class is the pool bucket this scratch belongs to (see getScratch), or
+	// -1 for an oversized scratch that is never pooled.
+	class int //dglint:allow scratchreset: getScratch stamps it on every checkout
+
 	txFlag   []bool
 	counts   []int32
 	from     []graph.NodeID
@@ -36,6 +41,15 @@ type scratch struct {
 	cliqueTx []int32
 	cliqueS  []graph.NodeID
 
+	// word-parallel delivery slabs, sized on demand when an execution picks
+	// the bitmap plan: the per-round transmitter bitmap (W words) and the
+	// combined G ∪ selected-extra mask rows for a committed static selector
+	// (n·W words). deliverBitmap clears txWords before every fill and
+	// buildStaticRows overwrites every staticMask word, so neither leaks
+	// state across trials.
+	txWords []uint64
+	selMask []uint64
+
 	// monitor backing stores: the round-stamp slice shared by the global and
 	// local monitors (and repurposed as the gossip monitor's source index),
 	// the local monitor's two membership sets, and the gossip monitor's
@@ -53,11 +67,13 @@ type scratch struct {
 
 	// per-node rng storage: nodeRngs[u] points into rngBlock, reseeded per
 	// execution. algRng is the algorithm-construction stream, reseeded the
-	// same way. probers caches the per-node TransmitProber views.
-	nodeRngs []*bitrand.Source
-	rngBlock []bitrand.Source
-	algRng   bitrand.Source //dglint:allow scratchreset: newEngine reseeds it before any draw, every execution
-	probers  []TransmitProber
+	// same way. probers and bulkSteps cache the per-node TransmitProber and
+	// BulkStepper views.
+	nodeRngs  []*bitrand.Source
+	rngBlock  []bitrand.Source
+	algRng    bitrand.Source //dglint:allow scratchreset: newEngine reseeds it before any draw, every execution
+	probers   []TransmitProber
+	bulkSteps []BulkStepper
 
 	// Process arena: the slab of the last execution that used this scratch,
 	// plus the identity it was built for. When the next execution matches
@@ -81,17 +97,71 @@ type scratch struct {
 	recordBuf []Delivery //dglint:allow scratchreset: the engine reslices it to [:0] before first use each execution
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+// The scratch pool is bucketed by power-of-two node-count classes so the
+// slabs a trial warms are sized for the trials that reuse them: before the
+// bucketing, one large-n trial would permanently pin worst-case Θ(n) slabs
+// that every later small-n trial dragged around. Classes above
+// scratchMaxClass are not pooled at all — a huge trial allocates fresh and
+// hands its slabs straight back to the GC.
+const (
+	// scratchMinClass is the smallest bucket; every n up to 1<<scratchMinClass
+	// shares it.
+	scratchMinClass = 6
+	// scratchMaxClass is the largest pooled bucket (n ≤ 65536); larger
+	// scratches are dropped on release instead of pooled.
+	scratchMaxClass = 16
+	// maxPooledMaskWords bounds the static-selector mask slab a pooled
+	// scratch may retain: the slab is n·W words (quadratic in n), so even
+	// within a pooled class it can dwarf every linear slab combined. Larger
+	// slabs are dropped on release and rebuilt on demand.
+	maxPooledMaskWords = 1 << 22 // 32 MiB
+)
+
+var scratchPools [scratchMaxClass - scratchMinClass + 1]sync.Pool
+
+func init() {
+	for i := range scratchPools {
+		scratchPools[i].New = func() any { return new(scratch) }
+	}
+}
+
+// scratchClass returns the power-of-two size class of n: the smallest c with
+// n ≤ 1<<c, clamped below to scratchMinClass. Values above scratchMaxClass
+// mark the scratch as unpooled.
+func scratchClass(n int) int {
+	c := bits.Len(uint(n - 1))
+	if c < scratchMinClass {
+		c = scratchMinClass
+	}
+	return c
+}
 
 // getScratch takes a scratch from the pool sized and cleared for n nodes.
 func getScratch(n int) *scratch {
-	s := scratchPool.Get().(*scratch)
+	c := scratchClass(n)
+	if c > scratchMaxClass {
+		s := new(scratch)
+		s.class = -1
+		s.grow(n)
+		return s
+	}
+	s := scratchPools[c-scratchMinClass].Get().(*scratch)
+	s.class = c
 	s.grow(n)
 	return s
 }
 
-// putScratch returns a scratch for reuse.
-func putScratch(s *scratch) { scratchPool.Put(s) }
+// putScratch returns a scratch to its class pool; oversized scratches (and
+// oversized mask slabs within a pooled scratch) are dropped to the GC.
+func putScratch(s *scratch) {
+	if s.class < 0 {
+		return
+	}
+	if cap(s.selMask) > maxPooledMaskWords {
+		s.selMask = nil
+	}
+	scratchPools[s.class-scratchMinClass].Put(s)
+}
 
 // grow sizes every buffer for n nodes and clears the state an execution
 // relies on: transmit flags and counts at zero, transmission tallies at
@@ -114,6 +184,7 @@ func (s *scratch) grow(n int) {
 		s.rngBlock = make([]bitrand.Source, n)
 		s.nodeRngs = make([]*bitrand.Source, n)
 		s.probers = make([]TransmitProber, n)
+		s.bulkSteps = make([]BulkStepper, n)
 		for u := range s.noise {
 			s.noise[u] = Message{Origin: u}
 			s.nodeRngs[u] = &s.rngBlock[u]
@@ -144,8 +215,9 @@ func (s *scratch) grow(n int) {
 	clear(s.monR)
 	s.rngBlock = s.rngBlock[:n]
 	s.nodeRngs = s.nodeRngs[:n]
-	// probers needs no clear: the engine writes every entry.
+	// probers and bulkSteps need no clear: the engine writes every entry.
 	s.probers = s.probers[:n]
+	s.bulkSteps = s.bulkSteps[:n]
 }
 
 // clique sizes the clique-cover accelerator buffers for count cliques.
@@ -155,6 +227,26 @@ func (s *scratch) clique(count int) ([]int32, []graph.NodeID) {
 		s.cliqueS = make([]graph.NodeID, count)
 	}
 	return s.cliqueTx[:count], s.cliqueS[:count]
+}
+
+// txBitmap sizes the round transmitter bitmap for w words. deliverBitmap
+// clears it before every fill, so no cross-trial clear is needed here.
+func (s *scratch) txBitmap(w int) []uint64 {
+	if cap(s.txWords) < w {
+		s.txWords = make([]uint64, w)
+	}
+	return s.txWords[:w]
+}
+
+// staticMask sizes the combined static-selector mask slab: n rows of w
+// words. The engine overwrites every word when it builds the mask
+// (buildStaticRows copies the G rows then ORs in selected edges), so no
+// cross-trial clear is needed here.
+func (s *scratch) staticMask(n, w int) []uint64 {
+	if cap(s.selMask) < n*w {
+		s.selMask = make([]uint64, n*w)
+	}
+	return s.selMask[:n*w]
 }
 
 // arenaMatch returns the pooled process slab if it was built by the same

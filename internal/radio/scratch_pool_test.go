@@ -1,0 +1,85 @@
+package radio
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestScratchClass(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, scratchMinClass},
+		{64, scratchMinClass},
+		{65, 7},
+		{100, 7},
+		{128, 7},
+		{129, 8},
+		{1 << scratchMaxClass, scratchMaxClass},
+		{1<<scratchMaxClass + 1, scratchMaxClass + 1},
+	}
+	for _, c := range cases {
+		if got := scratchClass(c.n); got != c.want {
+			t.Errorf("scratchClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestScratchPoolClasses pins the size-class pooling contract: same-class
+// checkouts reuse the released scratch, oversized scratches are never
+// pooled, and an oversized static-selector mask slab is dropped on release
+// even when the scratch itself stays pooled.
+func TestScratchPoolClasses(t *testing.T) {
+	// sync.Pool reuse is only deterministic on a single P (per-P private
+	// slot, no GC between Put and Get).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	// Same class (7 covers 65..128): the released scratch comes straight
+	// back, regrown for the new n.
+	s1 := getScratch(100)
+	if s1.class != 7 {
+		t.Fatalf("getScratch(100).class = %d, want 7", s1.class)
+	}
+	putScratch(s1)
+	s2 := getScratch(128)
+	if s2 != s1 {
+		t.Errorf("same-class checkout did not reuse the pooled scratch")
+	}
+	if len(s2.txFlag) != 128 {
+		t.Errorf("reused scratch sized for %d nodes, want 128", len(s2.txFlag))
+	}
+
+	// Different class: a class-12 checkout must not see the class-7 scratch.
+	putScratch(s2)
+	s3 := getScratch(4096)
+	if s3 == s2 {
+		t.Errorf("cross-class checkout returned a scratch from another class pool")
+	}
+	if s3.class != 12 {
+		t.Errorf("getScratch(4096).class = %d, want 12", s3.class)
+	}
+	putScratch(s3)
+
+	// Oversized (beyond scratchMaxClass): never pooled in either direction.
+	huge := getScratch(1<<scratchMaxClass + 1)
+	if huge.class != -1 {
+		t.Fatalf("oversized scratch class = %d, want -1", huge.class)
+	}
+	putScratch(huge)
+	huge2 := getScratch(1<<scratchMaxClass + 1)
+	if huge2 == huge {
+		t.Errorf("oversized scratch was pooled; it must go to the GC")
+	}
+
+	// An oversized mask slab is dropped on release; the scratch itself
+	// stays pooled.
+	s4 := getScratch(100)
+	s4.selMask = make([]uint64, maxPooledMaskWords+1)
+	putScratch(s4)
+	if s4.selMask != nil {
+		t.Errorf("oversized selMask survived putScratch; it must be dropped")
+	}
+	s5 := getScratch(100)
+	if s5 != s4 {
+		t.Errorf("scratch with dropped mask slab was not pooled")
+	}
+	putScratch(s5)
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// TestDegradationBetweenMemo pins the memoized wrapper against the direct
+// computation: same verdict on first and repeated calls, and distinct dual
+// pointers with identical structure are keyed (and computed) independently.
+func TestDegradationBetweenMemo(t *testing.T) {
+	build := func(seed uint64) *graph.Dual {
+		var src bitrand.Source
+		src.Reseed(seed)
+		return graph.AugmentDual(&src, graph.RingChords(&src, 60, 20), 40)
+	}
+	base := build(1)
+	cur := build(2)
+
+	want := degradationBetween(base, cur)
+	if got := DegradationBetween(base, cur); got != want {
+		t.Fatalf("first call: got %+v, want %+v", got, want)
+	}
+	if got := DegradationBetween(base, cur); got != want {
+		t.Fatalf("memoized call: got %+v, want %+v", got, want)
+	}
+
+	// The reverse orientation is a different key with a different verdict
+	// (Departed/Demoted/Gained are asymmetric); the memo must not conflate.
+	rev := degradationBetween(cur, base)
+	if got := DegradationBetween(cur, base); got != rev {
+		t.Fatalf("reverse pair: got %+v, want %+v", got, rev)
+	}
+
+	// A structurally identical dual under a fresh pointer is a fresh key;
+	// the answer must still be the direct computation's.
+	cur2 := build(2)
+	if cur2 == cur {
+		t.Fatal("builder returned the same pointer for independent builds")
+	}
+	if got, want := DegradationBetween(base, cur2), degradationBetween(base, cur2); got != want {
+		t.Fatalf("fresh pointer pair: got %+v, want %+v", got, want)
+	}
+	if got := DegradationBetween(base, cur2); got != want {
+		t.Fatalf("fresh pair memoized call: got %+v, want %+v", got, want)
+	}
+}
