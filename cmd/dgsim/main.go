@@ -40,7 +40,7 @@ func run(args []string) error {
 	var (
 		topology  = fs.String("topology", "dualclique", "network: dualclique, bracelet, geogrid, line, clique, geo")
 		n         = fs.Int("n", 256, "target network size")
-		algName   = fs.String("alg", "decay-global", "algorithm: decay-global, permuted-global, decay-local, geo-local, geo-local-noseeds, round-robin, aloha, permuted-local-uncoordinated, gossip-tdm, leader-elect")
+		algName   = fs.String("alg", "decay-global", "algorithm: decay-global, permuted-global, decay-local, geo-local, geo-local-noseeds, round-robin, derand, aloha, permuted-local-uncoordinated, gossip-tdm, leader-elect")
 		problem   = fs.String("problem", "global", "problem: global, local, or gossip")
 		advName   = fs.String("adversary", "none", "adversary: none, all, randomloss, bursty, densesparse, jam, presample; with -scenario also churnwindow, churnwindow-offline, churnwindow-blind")
 		lossP     = fs.Float64("loss-p", 0.5, "edge presence probability for randomloss")
@@ -243,6 +243,8 @@ func buildAlgorithm(name string) (radio.Algorithm, error) {
 		return core.GeoLocal{DisableSeedSharing: true}, nil
 	case "round-robin":
 		return core.RoundRobin{}, nil
+	case "derand":
+		return core.DerandBroadcast{}, nil
 	case "aloha":
 		return core.Aloha{P: 0.5}, nil
 	case "permuted-local-uncoordinated":

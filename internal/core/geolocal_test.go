@@ -214,3 +214,88 @@ func TestGeoLocalNames(t *testing.T) {
 		t.Fatal("ablation must carry a distinct name")
 	}
 }
+
+// TestGeoLocalElectionProbClamp covers the boundary past the sweep: phases
+// at or beyond lDelta (possible when initRounds is not a multiple of
+// phaseLen only in principle, but the clamp is the documented contract)
+// saturate at 1/2 rather than racing past certainty.
+func TestGeoLocalElectionProbClamp(t *testing.T) {
+	par := GeoLocal{}.params(geoNet(t, 6, 6))
+	for _, phase := range []int{par.lDelta - 1, par.lDelta, par.lDelta + 5} {
+		if p := par.electionProb(phase); p != 0.5 {
+			t.Fatalf("electionProb(%d) = %v, want the 1/2 clamp", phase, p)
+		}
+	}
+}
+
+// TestGeoLocalSeedBitsWrap pins seedBitsAt's two boundary cases: an
+// undersized seed wraps (reads past Len fold back to the start), and a
+// zero-length seed reads as all-zero instead of dividing by zero.
+func TestGeoLocalSeedBitsWrap(t *testing.T) {
+	p := &geoLocalProc{seed: bitrand.NewBitString(bitrand.New(9), 3)}
+	n := p.seed.Len()
+	if n != 3 {
+		t.Fatalf("seed length %d, want 3", n)
+	}
+	// Reading 6 bits from offset 0 must repeat the 3-bit pattern.
+	v := p.seedBitsAt(0, 6)
+	lo, hi := v&0x7, (v>>3)&0x7
+	if lo != hi {
+		t.Fatalf("wrapped read %b does not repeat the seed", v)
+	}
+	if w := p.seedBitsAt(2, 1); w != p.seed.At(2) {
+		t.Fatalf("offset read %d, want bit %d", w, p.seed.At(2))
+	}
+	empty := &geoLocalProc{seed: &bitrand.BitString{}}
+	if got := empty.seedBitsAt(0, 8); got != 0 {
+		t.Fatalf("zero-length seed read %d, want 0", got)
+	}
+}
+
+// TestGeoLocalFinalInitSelfCommit covers the last-round fallback directly: a
+// node that reaches the final initialization round without a seed commits to
+// a fresh private one, so the broadcast stage never starts unseeded.
+func TestGeoLocalFinalInitSelfCommit(t *testing.T) {
+	net := geoNet(t, 5, 5)
+	procs := GeoLocal{}.NewProcesses(net, radio.Spec{Problem: radio.LocalBroadcast}, bitrand.New(2))
+	p := procs[0].(*geoLocalProc)
+	p.leaderPhase = -2 // never this phase's leader; elections can't fire either
+	rng := bitrand.New(0)
+	p.Step(p.par.initRounds-2, rng)
+	if p.seed != nil {
+		t.Fatal("committed before the final init round without electing")
+	}
+	p.Step(p.par.initRounds-1, rng)
+	if p.seed == nil {
+		t.Fatal("final init round did not self-commit")
+	}
+	if p.ownSeed != p.seed {
+		t.Fatal("self-commit must draw the node's own seed")
+	}
+}
+
+// TestGeoLocalDeliverBoundaries covers the commit guards: nil frames,
+// non-seed payloads, already-committed nodes, and deliveries after the
+// initialization stage must all leave the seed untouched.
+func TestGeoLocalDeliverBoundaries(t *testing.T) {
+	net := geoNet(t, 5, 5)
+	procs := GeoLocal{}.NewProcesses(net, radio.Spec{Problem: radio.LocalBroadcast}, bitrand.New(2))
+	p := procs[1].(*geoLocalProc)
+	seed := bitrand.NewBitString(bitrand.New(3), p.par.seedBits)
+
+	p.Deliver(1, nil)
+	p.Deliver(1, &radio.Message{Origin: 0})                               // no payload
+	p.Deliver(p.par.initRounds, &radio.Message{Origin: 0, Payload: seed}) // too late
+	if p.seed != nil {
+		t.Fatal("a guarded delivery committed a seed")
+	}
+	p.Deliver(1, &radio.Message{Origin: 0, Payload: seed})
+	if p.seed != seed {
+		t.Fatal("an in-stage seed frame did not commit")
+	}
+	other := bitrand.NewBitString(bitrand.New(4), p.par.seedBits)
+	p.Deliver(2, &radio.Message{Origin: 2, Payload: other})
+	if p.seed != seed {
+		t.Fatal("a second delivery overwrote the committed seed")
+	}
+}

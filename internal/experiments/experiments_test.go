@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"CHURN-broadcast",
 		"CHURN-gossip",
 		"EXT-contention",
+		"EXT-derand",
 		"EXT-gossip",
 		"EXT-leader",
 		"F1-oblivious-global",

@@ -40,6 +40,9 @@ type Graph struct {
 	// masks memoizes BuildNeighborMasks(g) (see NeighborMasksOf) under the
 	// same immutability contract.
 	masks maskCache
+	// decomp memoizes BuildDecomposition(g) (see DecompositionOf), again per
+	// immutable graph.
+	decomp decompCache
 }
 
 // Builder accumulates edges for a Graph as a flat list of packed (u, v) keys;

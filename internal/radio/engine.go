@@ -452,6 +452,14 @@ func (e *engine) swapEpoch() {
 	// per revision, and the mask rows (memoized per graph) must re-hoist
 	// exactly like the CSR views above.
 	e.setupPlan()
+	// Epoch-aware processes re-key their own topology-derived structure
+	// (e.g. the derand decomposition memo). The type assertion allocates
+	// nothing, and non-aware algorithms skip the loop body entirely.
+	for _, p := range e.procs {
+		if ea, ok := p.(EpochAware); ok {
+			ea.OnEpoch(e.epochIdx, net)
+		}
+	}
 }
 
 func (e *engine) fill(res *Result) {

@@ -152,6 +152,22 @@ type BulkStepper interface {
 	Frame(r int) *Message
 }
 
+// EpochAware is an optional Process extension for algorithms that derive
+// per-topology structure (a decomposition, a schedule) from the network.
+// When an execution runs under an epoch schedule, the engine invokes OnEpoch
+// on every implementing process at each epoch boundary, after the engine's
+// own views have re-hoisted to the new revision, so the process can re-key
+// its derived structure the same way the engine re-keys the clique cover.
+// OnEpoch is never called for epoch 0 — NewProcesses already saw that
+// network — and must not retain net-derived views beyond the next swap
+// except through per-graph memos (which re-key by construction).
+type EpochAware interface {
+	Process
+	// OnEpoch reports that the topology advanced to epoch index epoch with
+	// network net.
+	OnEpoch(epoch int, net *graph.Dual)
+}
+
 // Algorithm constructs the per-node processes for a network and problem
 // instance. Factories are what oblivious adversaries are allowed to know:
 // the algorithm description, not its coins. Sampling adversaries use the

@@ -235,6 +235,16 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 	if cfg.Epochs < 0 || cfg.EpochLen <= 0 {
 		return Scenario{}, fmt.Errorf("scenario: need EpochLen > 0 (got %d) and Epochs >= 0 (got %d)", cfg.EpochLen, cfg.Epochs)
 	}
+	// Storms are documented as transient: each batch clears one epoch later,
+	// with the healing epoch (start (Epochs+1)*EpochLen) clearing the last.
+	// If the round budget ends before the healing epoch begins, the final
+	// epoch's storm fringe silently persists to the end of the run — the
+	// caller gets a permanently degraded topology it believes is transient.
+	// Refuse the config instead of dropping the contract.
+	if cfg.Storms > 0 && cfg.MaxRounds > 0 && cfg.Epochs > 0 && (cfg.Epochs+1)*cfg.EpochLen >= cfg.MaxRounds {
+		return Scenario{}, fmt.Errorf("%w: scenario: healing epoch starts at round %d, at or beyond the %d-round budget — the final storm batch would never clear",
+			radio.ErrBadConfig, (cfg.Epochs+1)*cfg.EpochLen, cfg.MaxRounds)
+	}
 	n := base.N()
 	protected := make([]bool, n)
 	for _, u := range cfg.Protected {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -310,5 +311,41 @@ func TestGenerateInjectionBudget(t *testing.T) {
 	cfg.MaxRounds = 0 // unchecked
 	if _, err := Generate(net, bitrand.New(1), cfg); err != nil {
 		t.Fatalf("MaxRounds 0 must disable the check: %v", err)
+	}
+}
+
+// TestGenerateStormBudget is the regression test for storm batches landing
+// against a round budget that ends before the healing epoch: the final
+// epoch's storm fringe would persist for the rest of the run, silently
+// breaking the storms-are-transient contract, so Generate must refuse the
+// config with radio.ErrBadConfig.
+func TestGenerateStormBudget(t *testing.T) {
+	net := baseNet(t)
+	cfg := GenConfig{Epochs: 3, EpochLen: 50, Storms: 4}
+	heal := (cfg.Epochs + 1) * cfg.EpochLen // round 200
+
+	cfg.MaxRounds = heal // budget ends exactly where healing would begin
+	_, err := Generate(net, bitrand.New(1), cfg)
+	if err == nil {
+		t.Fatal("storm config whose healing epoch starts at the budget accepted")
+	}
+	if !errors.Is(err, radio.ErrBadConfig) {
+		t.Fatalf("got %v, want radio.ErrBadConfig", err)
+	}
+
+	cfg.MaxRounds = heal + 1 // healing epoch begins inside the budget
+	if _, err := Generate(net, bitrand.New(1), cfg); err != nil {
+		t.Fatalf("storm config healing inside the budget rejected: %v", err)
+	}
+
+	cfg.MaxRounds = 0 // unchecked, like the injection validation
+	if _, err := Generate(net, bitrand.New(1), cfg); err != nil {
+		t.Fatalf("MaxRounds 0 must disable the check: %v", err)
+	}
+
+	cfg.Storms = 0 // no storms: nothing transient is lost, stay permissive
+	cfg.MaxRounds = heal
+	if _, err := Generate(net, bitrand.New(1), cfg); err != nil {
+		t.Fatalf("storm-free config rejected by the storm-budget check: %v", err)
 	}
 }
