@@ -56,3 +56,28 @@ func IntersectOne(a, b []uint64) (count, idx int) {
 	}
 	return 1, idx
 }
+
+// IntersectOneIndexed is IntersectOne over a block-sparse row: idx lists the
+// row's nonzero block indices (ascending) and words the matching block
+// values, while b is a dense vector the blocks index into. Classification and
+// early exit are identical to IntersectOne; the returned bit index is in b's
+// dense bit space.
+func IntersectOneIndexed(idx []int32, words []uint64, b []uint64) (count, bitIdx int) {
+	var single uint64
+	bitIdx = -1
+	for i, wi := range idx {
+		x := words[i] & b[wi]
+		if x == 0 {
+			continue
+		}
+		if single != 0 || x&(x-1) != 0 {
+			return 2, -1
+		}
+		single = x
+		bitIdx = int(wi)<<6 + bits.TrailingZeros64(x)
+	}
+	if single == 0 {
+		return 0, -1
+	}
+	return 1, bitIdx
+}

@@ -72,6 +72,39 @@ func TestIntersectOneExhaustive(t *testing.T) {
 	}
 }
 
+// TestIntersectOneIndexedMatchesDense cross-checks the block-sparse kernel
+// against IntersectOne: a dense row and its sparse (index, word) form must
+// classify every transmitter vector identically.
+func TestIntersectOneIndexedMatchesDense(t *testing.T) {
+	src := New(0xb18)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + src.Intn(520)
+		w := WordsFor(n)
+		row := make([]uint64, w)
+		b := make([]uint64, w)
+		for i, k := 0, src.Intn(n/4+2); i < k; i++ {
+			SetBit(row, src.Intn(n))
+		}
+		for i, k := 0, src.Intn(n+1); i < k; i++ {
+			SetBit(b, src.Intn(n))
+		}
+		var idx []int32
+		var words []uint64
+		for i, x := range row {
+			if x != 0 {
+				idx = append(idx, int32(i))
+				words = append(words, x)
+			}
+		}
+		wantCount, wantIdx := IntersectOne(row, b)
+		gotCount, gotIdx := IntersectOneIndexed(idx, words, b)
+		if gotCount != wantCount || gotIdx != wantIdx {
+			t.Fatalf("trial %d (n=%d): IntersectOneIndexed = (%d, %d), want (%d, %d)",
+				trial, n, gotCount, gotIdx, wantCount, wantIdx)
+		}
+	}
+}
+
 func TestIntersectOneShortA(t *testing.T) {
 	// b longer than a: only len(a) words are read.
 	a := []uint64{1 << 5}

@@ -31,3 +31,25 @@ func (d *Dual) ExtraNeighbors(u NodeID) []NodeID { return d.g.adj }
 
 // ExtraCSR returns the fringe backing arrays.
 func (d *Dual) ExtraCSR() (offs []int32, adj []NodeID) { return d.g.offs, d.g.adj }
+
+// SparseNeighborMasks mirrors the block-sparse mask rows, whose accessors
+// return zero-copy views with the same lifetime contract.
+type SparseNeighborMasks struct {
+	offs  []int32
+	idx   []int32
+	words []uint64
+	summ  []uint64
+}
+
+// BlockRow returns a row's block views.
+func (m *SparseNeighborMasks) BlockRow(u NodeID) (idx []int32, words []uint64) {
+	return m.idx, m.words
+}
+
+// Rows returns the flat backing arrays.
+func (m *SparseNeighborMasks) Rows() (offs, idx []int32, words []uint64) {
+	return m.offs, m.idx, m.words
+}
+
+// Summaries returns the per-row summary array.
+func (m *SparseNeighborMasks) Summaries() []uint64 { return m.summ }

@@ -5,9 +5,12 @@ package viewescape
 import "graph"
 
 type holder struct {
-	view []graph.NodeID
-	offs []int32
-	adj  []graph.NodeID
+	view  []graph.NodeID
+	offs  []int32
+	adj   []graph.NodeID
+	idx   []int32
+	words []uint64
+	summ  []uint64
 }
 
 var pkgView []graph.NodeID
@@ -35,6 +38,32 @@ func taintedLocal(h *holder, d *graph.Dual) {
 
 func composite(g *graph.Graph) holder {
 	return holder{adj: g.Neighbors(0)} // want `stored in a composite literal`
+}
+
+func sparseBlockStore(h *holder, m *graph.SparseNeighborMasks) {
+	h.idx, h.words = m.BlockRow(3) // want `stored in h\.idx` `stored in h\.words`
+}
+
+func sparseRowsStore(h *holder, m *graph.SparseNeighborMasks) {
+	h.offs, h.idx, h.words = m.Rows() // want `stored in h\.offs` `stored in h\.idx` `stored in h\.words`
+}
+
+func sparseSummStore(h *holder, m *graph.SparseNeighborMasks) {
+	h.summ = m.Summaries() // want `stored in h\.summ`
+}
+
+func sparseTainted(h *holder, m *graph.SparseNeighborMasks) {
+	s := m.Summaries()
+	h.summ = s // want `stored in h\.summ`
+}
+
+func sparseOK(m *graph.SparseNeighborMasks) int {
+	idx, words := m.BlockRow(0)
+	total := len(idx)
+	for _, w := range words {
+		total += int(w & 1)
+	}
+	return total + len(m.Summaries())
 }
 
 func closure(g *graph.Graph) func() int {

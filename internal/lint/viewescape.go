@@ -32,9 +32,10 @@ var ViewEscape = &Analyzer{
 }
 
 // viewMethodNames are the view-returning accessors of the graph API. Row and
-// Rows are the NeighborMasks accessors: mask rows are per-graph storage with
-// exactly the CSR views' lifetime, so a stashed row goes just as stale at an
-// epoch swap.
+// Rows are the NeighborMasks accessors; BlockRow, Rows and Summaries are
+// their block-sparse counterparts on SparseNeighborMasks: mask rows are
+// per-graph storage with exactly the CSR views' lifetime, so a stashed row
+// goes just as stale at an epoch swap.
 var viewMethodNames = map[string]bool{
 	"Neighbors":      true,
 	"ExtraNeighbors": true,
@@ -42,6 +43,8 @@ var viewMethodNames = map[string]bool{
 	"ExtraCSR":       true,
 	"Row":            true,
 	"Rows":           true,
+	"BlockRow":       true,
+	"Summaries":      true,
 }
 
 func runViewEscape(pass *Pass) {
@@ -86,7 +89,8 @@ func isViewCall(pass *Pass, e ast.Expr) bool {
 	}
 	obj := named.Obj()
 	name := obj.Name()
-	return (name == "Graph" || name == "Dual" || name == "NeighborMasks") &&
+	return (name == "Graph" || name == "Dual" || name == "NeighborMasks" ||
+		name == "SparseNeighborMasks") &&
 		obj.Pkg() != nil && obj.Pkg().Name() == "graph"
 }
 

@@ -1,0 +1,161 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// The batched transmit-coin fill (stepBatch) must be bit-for-bit identical
+// to the per-node bulk loop: same coins from the same per-node streams in
+// the same ascending order, same transmitters, same deliveries, same energy
+// profile. These tests run identical configurations with the batch enabled
+// and disabled (via the disableCoinBatch hook) and require identical
+// Results — including rounds where the batch path reconstructs the
+// transmitter list for the scalar fallback (rebuildTx).
+//
+// The probe algorithm is defined here rather than borrowed from
+// internal/core (which imports this package): informed nodes flood with a
+// fixed probability, the exact BulkStepper shape — Step is one Bernoulli
+// trial, Frame the held rumor.
+
+type batchProc struct {
+	p   float64
+	msg *Message
+}
+
+func (pr *batchProc) TransmitProb(int) float64 {
+	if pr.msg == nil {
+		return 0
+	}
+	return pr.p
+}
+
+func (pr *batchProc) Frame(int) *Message { return pr.msg }
+
+func (pr *batchProc) Step(r int, rng *bitrand.Source) Action {
+	if rng.Coin(pr.TransmitProb(r)) {
+		return Transmit(pr.Frame(r))
+	}
+	return Listen()
+}
+
+func (pr *batchProc) Deliver(_ int, msg *Message) {
+	if msg != nil && pr.msg == nil {
+		pr.msg = msg
+	}
+}
+
+type batchAlg struct{ p float64 }
+
+func (batchAlg) Name() string { return "batch-flood" }
+
+func (a batchAlg) NewProcesses(net *graph.Dual, spec Spec, _ *bitrand.Source) []Process {
+	procs := make([]Process, net.N())
+	for u := range procs {
+		procs[u] = &batchProc{p: a.p}
+	}
+	informed := spec.Broadcasters
+	if spec.Problem == GlobalBroadcast {
+		informed = []graph.NodeID{spec.Source}
+	}
+	for _, u := range informed {
+		procs[u].(*batchProc).msg = &Message{Origin: u}
+	}
+	return procs
+}
+
+// staticAllLink commits the all-edges schedule, lighting up the G' sparse
+// rows under the batch path.
+type staticAllLink struct{}
+
+func (staticAllLink) CommitSchedule(*Env) Schedule {
+	return StaticSchedule{Selector: graph.SelectAll{}}
+}
+
+// staticPartialLink commits a fixed partial selector, which has no
+// precomputed sparse rows: sparse-plan rounds under it must rebuild the
+// transmitter list and fall back to the scalar walk.
+type staticPartialLink struct{}
+
+func (staticPartialLink) CommitSchedule(*Env) Schedule {
+	return StaticSchedule{Selector: graph.SelectCrossCut{
+		InA: func(u graph.NodeID) bool { return u%2 == 0 },
+	}}
+}
+
+// runBatched runs cfg with the batched coin fill forced on or off.
+func runBatched(t *testing.T, cfg Config, disable bool) Result {
+	t.Helper()
+	prev := disableCoinBatch
+	disableCoinBatch = disable
+	defer func() { disableCoinBatch = prev }()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBatchCoinEquivalence(t *testing.T) {
+	var src bitrand.Source
+	src.Reseed(0xba7c4)
+	sparseNet := graph.UniformDual(graph.RingChords(&src, 3000, 6000))
+	sparseLinked := graph.AugmentDual(&src, graph.RingChords(&src, 2000, 4000), 3000)
+	denseNet := graph.UniformDual(graph.Circulant(2500, 320))
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		// Forced plans keep every eligible round on a bitmap kernel; the
+		// high-probability runs exercise the dense word-register fill and the
+		// sparse scattered fill, while the low-probability runs spend most
+		// rounds under bitmapTxMin on the auto plan and so exercise
+		// rebuildTx.
+		{"dense-flood", Config{
+			Net: denseNet, Algorithm: batchAlg{p: 0.4},
+			Spec: Spec{Problem: LocalBroadcast, Broadcasters: []graph.NodeID{1, 700, 1900}},
+			Seed: 41, MaxRounds: 96, Plan: PlanBitmap, IgnoreCompletion: true,
+		}},
+		// Auto on the dense circulant keeps bitmapTxMin = WordsFor(n): the
+		// trickle's early rounds fall under it and take the rebuildTx →
+		// scalar-walk fallback, later rounds clear it and take the kernel.
+		{"dense-auto-trickle", Config{
+			Net: denseNet, Algorithm: batchAlg{p: 0.02},
+			Spec: Spec{Problem: GlobalBroadcast, Source: 7},
+			Seed: 42, MaxRounds: 256, Plan: PlanAuto,
+		}},
+		{"sparse-flood", Config{
+			Net: sparseNet, Algorithm: batchAlg{p: 0.5},
+			Spec: Spec{Problem: GlobalBroadcast, Source: 11},
+			Seed: 43, MaxRounds: 400, Plan: PlanBitmapSparse,
+		}},
+		{"sparse-flood-linked", Config{
+			Net: sparseLinked, Algorithm: batchAlg{p: 0.35},
+			Spec: Spec{Problem: LocalBroadcast, Broadcasters: []graph.NodeID{0, 500, 1500}},
+			Link: staticAllLink{},
+			Seed: 44, MaxRounds: 96, Plan: PlanBitmapSparse, IgnoreCompletion: true,
+		}},
+		// A committed partial selector has no sparse rows: every round takes
+		// rebuildTx (cluster-major bits sorted back to ascending ids) into
+		// the scalar walk.
+		{"sparse-static-partial", Config{
+			Net: sparseLinked, Algorithm: batchAlg{p: 0.3},
+			Spec: Spec{Problem: LocalBroadcast, Broadcasters: []graph.NodeID{0, 500, 1500}},
+			Link: staticPartialLink{},
+			Seed: 45, MaxRounds: 96, Plan: PlanBitmapSparse, IgnoreCompletion: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batched := runBatched(t, tc.cfg, false)
+			perNode := runBatched(t, tc.cfg, true)
+			if !reflect.DeepEqual(batched, perNode) {
+				t.Errorf("results differ:\n batched:  %+v\n per-node: %+v", batched, perNode)
+			}
+		})
+	}
+}

@@ -1,11 +1,15 @@
 package radio
 
 import (
+	"math/bits"
+	"slices"
+	"strconv"
+
 	"repro/internal/bitrand"
 	"repro/internal/graph"
 )
 
-// DeliveryPlan selects the engine's delivery implementation. The two paths
+// DeliveryPlan selects the engine's delivery implementation. All paths
 // compute the identical reception relation — a listener receives iff exactly
 // one of its round-topology neighbors transmits, with collisions and silence
 // indistinguishable — so the plan changes cost, never outcome (the
@@ -14,41 +18,88 @@ type DeliveryPlan int
 
 const (
 	// PlanAuto (the zero value) re-derives the plan at every epoch commit:
-	// the bitmap path when the epoch's n and G' density clear the thresholds
-	// below and no recorder or clique cover is attached, the CSR walk
-	// otherwise. Within a bitmap epoch, rounds with fewer transmitters than
-	// the bitmap row width fall back to the CSR walk per round — the scalar
-	// walk is O(Σ deg(tx)) and beats the O(n·W) row scan on sparse rounds.
+	// the dense bitmap path when the epoch's n and G' density clear the
+	// thresholds below, the block-sparse bitmap path when n outgrows the
+	// dense mask slab but the sparse masks fit the memory budget, and the
+	// CSR walk otherwise (always with a recorder or clique cover attached).
+	// Within a bitmap epoch, rounds with fewer transmitters than the bitmap
+	// row width fall back to the CSR walk per round — the scalar walk is
+	// O(Σ deg(tx)) and beats the row scans on sparse rounds.
 	PlanAuto DeliveryPlan = iota
 	// PlanScalar forces the CSR walk.
 	PlanScalar
-	// PlanBitmap forces the word-parallel path for every round, at any n.
-	// With a Recorder attached, deliveries are reported in ascending node
-	// order rather than the CSR walk's discovery order (the set of
-	// deliveries is identical).
+	// PlanBitmap forces the word-parallel path for every round, at any n:
+	// the dense mask slab up to denseMaskMaxNodes nodes, the block-sparse
+	// layout beyond it (the dense n·⌈n/64⌉ slab would need ~125 GB at
+	// n = 10⁶). With a Recorder attached, deliveries are reported in
+	// ascending node order (dense) or cluster-major order (sparse) rather
+	// than the CSR walk's discovery order (the set of deliveries is
+	// identical).
 	PlanBitmap
+	// PlanBitmapSparse forces the block-sparse word-parallel path for every
+	// round, at any n: per-node nonzero mask blocks under a cluster-major
+	// renumbering (see graph.SparseMasksOf), with per-row and per-round
+	// occupancy summaries pruning the kernel. Rounds whose selector is
+	// neither all nor none have no precomputed sparse rows and fall back to
+	// the CSR walk.
+	PlanBitmapSparse
 )
 
-// Auto-plan thresholds. The bitmap path costs n·W words per round (W =
+// String implements fmt.Stringer.
+func (p DeliveryPlan) String() string {
+	switch p {
+	case PlanAuto:
+		return "PlanAuto"
+	case PlanScalar:
+		return "PlanScalar"
+	case PlanBitmap:
+		return "PlanBitmap"
+	case PlanBitmapSparse:
+		return "PlanBitmapSparse"
+	}
+	return "DeliveryPlan(" + strconv.Itoa(int(p)) + ")"
+}
+
+// Auto-plan thresholds. The dense bitmap path costs n·W words per round (W =
 // WordsFor(n)) against the scalar walk's Σ_x deg(x) adds, so it wins when
 // the average transmitting neighborhood clears ~n/64 — hence the density
 // gate avg G' degree ≥ n/64 (E(G') ≥ n²/128). Below bitmapMinNodes the
-// rounds are too cheap for the plan to matter; above bitmapMaxNodes the
-// n²/64-bit masks (128 MiB per graph at the cap) cost more memory than the
-// speedup is worth, and SCALE-scale sparse networks stay on the CSR walk.
+// rounds are too cheap for the plan to matter. Above denseMaskMaxNodes the
+// n²/64-bit dense masks (128 MiB per graph at the cap) cost more memory than
+// the speedup is worth, so PlanAuto switches to the block-sparse layout,
+// gated on its estimated footprint (proportional to the edge count, not n²)
+// fitting sparseMaskMaxBytes.
 const (
-	bitmapMinNodes = 2048
-	bitmapMaxNodes = 1 << 15
+	bitmapMinNodes    = 2048
+	denseMaskMaxNodes = 1 << 15
+	// sparseMaskMaxBytes caps the estimated block-sparse mask footprint
+	// (graph.EstimateSparseMaskBytes) PlanAuto will commit to: 2 GiB covers
+	// hundreds of millions of edges while keeping a runaway-dense G' from
+	// silently eating the machine.
+	sparseMaskMaxBytes = int64(1) << 31
 )
+
+// disableCoinBatch turns the batched transmit-coin fill off, forcing the
+// per-node bulk loop even when the batch conditions hold. Tests and
+// benchmarks toggle it to pin the bit-for-bit equivalence of the two fill
+// orders and to measure the batch win; it is never set in production paths.
+var disableCoinBatch = false
 
 // setupPlan derives the delivery plan for the current epoch's topology:
 // called once at engine construction and again at every epoch swap, so churn
 // re-plans at O(revision) cost (masks memoize per graph revision; repeated
-// trials and revisits share one build). It hoists the epoch's mask rows and,
-// for a committed static selector, rebuilds the combined selector mask.
+// trials and revisits share one build). It hoists the epoch's mask rows —
+// dense slab rows or block-sparse row views plus the cluster-major
+// permutation — and, for a committed static selector on the dense path,
+// rebuilds the combined selector mask.
 func (e *engine) setupPlan() {
 	e.plan = PlanScalar
+	e.bitmapTxMin = 0
 	e.gRows, e.gpRows, e.staticRows = nil, nil, nil
+	e.sparseG, e.sparseGP = nil, nil
+	e.newID, e.oldID = nil, nil
+	e.batchCoins = false
+	sparse := false
 	switch e.cfg.Plan {
 	case PlanScalar:
 		return
@@ -56,35 +107,72 @@ func (e *engine) setupPlan() {
 		if e.cfg.UseCliqueCover || e.cfg.Recorder != nil {
 			return
 		}
-		if e.n < bitmapMinNodes || e.n > bitmapMaxNodes {
-			return
-		}
-		if e.net.GPrime().NumEdges() < e.n*e.n/128 {
+		if e.n < bitmapMinNodes {
 			return
 		}
 		e.bitmapTxMin = bitrand.WordsFor(e.n)
+		if e.n <= denseMaskMaxNodes {
+			// Dense region: worth the n²/64-bit slab only on dense G'.
+			if e.net.GPrime().NumEdges() < e.n*e.n/128 {
+				e.bitmapTxMin = 0
+				return
+			}
+		} else {
+			// Sparse region: the gate is the estimated mask footprint, not n.
+			if graph.EstimateSparseMaskBytes(e.net, e.cfg.Link != nil) > sparseMaskMaxBytes {
+				e.bitmapTxMin = 0
+				return
+			}
+			sparse = true
+		}
 	case PlanBitmap:
-		e.bitmapTxMin = 0
+		sparse = e.n > denseMaskMaxNodes
+	case PlanBitmapSparse:
+		sparse = true
 	}
-	e.plan = PlanBitmap
 	e.maskW = bitrand.WordsFor(e.n)
-	//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
-	e.gRows = graph.NeighborMasksOf(e.net.G()).Rows()
-	if e.cfg.Link != nil {
-		//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
-		e.gpRows = graph.NeighborMasksOf(e.net.GPrime()).Rows()
-	}
 	e.txWords = e.sc.txBitmap(e.maskW)
-	if e.staticSel != nil {
-		e.buildStaticRows()
+	if sparse {
+		e.plan = PlanBitmapSparse
+		set := graph.SparseMasksOf(e.net)
+		e.sparseG = set.G
+		if e.cfg.Link != nil {
+			e.sparseGP = set.GPrimeMasks()
+		}
+		//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
+		e.newID, e.oldID = set.Order.NewID, set.Order.OldID
+		e.sumShift = e.sparseG.RegionShift()
+	} else {
+		e.plan = PlanBitmap
+		//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
+		e.gRows = graph.NeighborMasksOf(e.net.G()).Rows()
+		if e.cfg.Link != nil {
+			//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
+			e.gpRows = graph.NeighborMasksOf(e.net.GPrime()).Rows()
+		}
+		if e.staticSel != nil {
+			e.buildStaticRows()
+		}
 	}
+	// Batched coin fills: with every process a BulkStepper and no consumer of
+	// the per-round transmitter list before delivery (no adaptive adversary
+	// wanting lastTx views, no offline adversary reading the realized set, no
+	// recorder), the engine draws the round's coins straight into the
+	// transmitter bitmap and skips building e.tx. The draws come from the
+	// same per-node streams in the same ascending order, so the fill is
+	// bit-for-bit identical to the per-node path (the batch equivalence test
+	// pins this).
+	e.batchCoins = e.allBulk && e.online == nil && e.offline == nil &&
+		e.cfg.Recorder == nil && !disableCoinBatch
 }
 
 // buildStaticRows materializes the round topology of a committed static
-// selector as mask rows: the G rows with the selected E'\E edges ORed in.
-// Built once per epoch into the pooled slab (the committed selector never
-// changes mid-execution), so each round intersects one precomputed row set
-// instead of re-filtering extra edges per transmitter.
+// selector as dense mask rows: the G rows with the selected E'\E edges ORed
+// in. Built once per epoch into the pooled slab (the committed selector
+// never changes mid-execution), so each round intersects one precomputed row
+// set instead of re-filtering extra edges per transmitter. The sparse plan
+// has no static-row analogue: static-selector rounds fall back to the CSR
+// walk there.
 func (e *engine) buildStaticRows() {
 	w := e.maskW
 	rows := e.sc.staticMask(e.n, w)
@@ -103,9 +191,9 @@ func (e *engine) buildStaticRows() {
 	e.staticRows = rows
 }
 
-// roundRows returns the mask rows matching this round's topology, or nil
-// when the selector has no precomputed mask (an adaptive selector that is
-// neither all nor none), which keeps that round on the scalar walk.
+// roundRows returns the dense mask rows matching this round's topology, or
+// nil when the selector has no precomputed mask (an adaptive selector that
+// is neither all nor none), which keeps that round on the scalar walk.
 func (e *engine) roundRows(selector graph.EdgeSelector) []uint64 {
 	switch {
 	case selector.None():
@@ -120,23 +208,94 @@ func (e *engine) roundRows(selector graph.EdgeSelector) []uint64 {
 	return nil
 }
 
-// deliverBitmap is the word-parallel delivery path: fill the transmitter
-// bitmap once (W words + one bit per transmitter), then classify every
-// listener with a single masked-popcount scan of its neighbor row — 64
-// candidate senders per word, early-exiting at the second hit. Exactly one
-// set bit in txWords ∧ row(u) means u receives from the bit's index
-// (trailing zeros); zero or ≥2 deliver nil, preserving collision/silence
-// indistinguishability by construction.
-//
-//dglint:noalloc gate=TestBitmapDeliveryAllocs
-func (e *engine) deliverBitmap(r int, res *Result, rows []uint64) []Delivery {
-	w := e.maskW
+// roundSparse returns the block-sparse mask rows matching this round's
+// topology, or nil when the selector is neither all nor none (no sparse
+// static-row support), which keeps that round on the scalar walk.
+func (e *engine) roundSparse(selector graph.EdgeSelector) *graph.SparseNeighborMasks {
+	switch {
+	case selector.None():
+		return e.sparseG
+	case selector.All():
+		return e.sparseGP
+	}
+	return nil
+}
+
+// fillTxDense fills the transmitter bitmap from the round's transmitter
+// list: bit v marks transmitter v.
+func (e *engine) fillTxDense() {
 	txw := e.txWords
 	clear(txw)
 	for _, v := range e.tx {
 		txw[v>>6] |= 1 << (uint(v) & 63)
-		e.txFlag[v] = true
 	}
+}
+
+// fillTxSparse fills the transmitter bitmap from the round's transmitter
+// list in the cluster-major bit space of the sparse masks, maintaining the
+// round's region-occupancy summary as bits are set.
+func (e *engine) fillTxSparse() {
+	txw := e.txWords
+	clear(txw)
+	var s uint64
+	for _, v := range e.tx {
+		nv := e.newID[v]
+		txw[nv>>6] |= 1 << (uint(nv) & 63)
+		s |= 1 << (uint(nv>>6) >> e.sumShift)
+	}
+	e.txSumm = s
+}
+
+// rebuildTx reconstructs the ascending transmitter list from a batch-filled
+// transmitter bitmap, for rounds that fall off the bitmap kernels (fewer
+// transmitters than bitmapTxMin, a selector without precomputed rows, or the
+// complete-graph fast path). Sparse bitmaps are in cluster-major bit space,
+// so the recovered ids are sorted back to the ascending original order the
+// per-node fill would have produced — the fallback round is then identical
+// in every observable to its non-batched counterpart.
+func (e *engine) rebuildTx() {
+	e.tx = e.tx[:0]
+	if e.plan == PlanBitmapSparse {
+		for i, w := range e.txWords {
+			for w != 0 {
+				nv := i<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				e.tx = append(e.tx, e.oldID[nv])
+			}
+		}
+		slices.Sort(e.tx)
+		return
+	}
+	for i, w := range e.txWords {
+		for w != 0 {
+			e.tx = append(e.tx, i<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// deliverBitmap is the dense word-parallel delivery path: fill the
+// transmitter bitmap once (W words + one bit per transmitter), then classify
+// every listener with scanBitmap.
+//
+//dglint:noalloc gate=TestBitmapDeliveryAllocs
+func (e *engine) deliverBitmap(r int, res *Result, rows []uint64) []Delivery {
+	e.fillTxDense()
+	return e.scanBitmap(r, res, rows)
+}
+
+// scanBitmap classifies every listener against the filled transmitter
+// bitmap with a single masked-popcount scan of its dense neighbor row — 64
+// candidate senders per word, early-exiting at the second hit. Exactly one
+// set bit in txWords ∧ row(u) means u receives from the bit's index
+// (trailing zeros); zero or ≥2 deliver nil, preserving collision/silence
+// indistinguishability by construction. Transmitters are recognized by
+// their own bit in the bitmap (a radio cannot receive while transmitting).
+//
+//dglint:noalloc gate=TestBitmapDeliveryAllocs
+func (e *engine) scanBitmap(r int, res *Result, rows []uint64) []Delivery {
+	w := e.maskW
+	txw := e.txWords
 
 	var recorded []Delivery
 	record := e.cfg.Recorder != nil
@@ -144,9 +303,7 @@ func (e *engine) deliverBitmap(r int, res *Result, rows []uint64) []Delivery {
 		recorded = e.recordBuf[:0]
 	}
 	for u := 0; u < e.n; u++ {
-		if e.txFlag[u] {
-			// Transmitters hear nothing (a radio cannot receive while
-			// transmitting), exactly as the scalar walk's txFlag guard.
+		if txw[u>>6]>>(uint(u)&63)&1 != 0 {
 			e.procs[u].Deliver(r, nil)
 			continue
 		}
@@ -167,8 +324,56 @@ func (e *engine) deliverBitmap(r int, res *Result, rows []uint64) []Delivery {
 		// Keep the append-grown buffer for the next round.
 		e.recordBuf = recorded[:0]
 	}
-	for _, v := range e.tx {
-		e.txFlag[v] = false
+	return recorded
+}
+
+// deliverSparse is the block-sparse delivery kernel: every listener is
+// classified by intersecting only its nonzero mask blocks with the
+// transmitter bitmap (IntersectOneIndexed), after a one-word AND of the
+// row's region summary against the round's transmitter summary rejects
+// listeners whose neighborhood shares no region with any transmitter. Rows
+// are walked in cluster-major order — the layout's cache order — and every
+// id crossing the Deliver/record boundary is translated back to the
+// original space, so observable output is independent of the renumbering.
+//
+//dglint:noalloc gate=TestSparseDeliveryAllocs
+func (e *engine) deliverSparse(r int, res *Result, m *graph.SparseNeighborMasks) []Delivery {
+	//dglint:allow viewescape: call-scoped row views of the epoch's memoized masks
+	offs, idx, words := m.Rows()
+	//dglint:allow viewescape: call-scoped row views of the epoch's memoized masks
+	summ := m.Summaries()
+	txw := e.txWords
+	txSumm := e.txSumm
+	oldID := e.oldID
+
+	var recorded []Delivery
+	record := e.cfg.Recorder != nil
+	if record {
+		recorded = e.recordBuf[:0]
+	}
+	for nu := 0; nu < e.n; nu++ {
+		u := oldID[nu]
+		if txw[nu>>6]>>(uint(nu)&63)&1 != 0 || summ[nu]&txSumm == 0 {
+			// Transmitting, or no transmitter anywhere near the row's blocks.
+			e.procs[u].Deliver(r, nil)
+			continue
+		}
+		count, from := bitrand.IntersectOneIndexed(idx[offs[nu]:offs[nu+1]], words[offs[nu]:offs[nu+1]], txw)
+		if count == 1 {
+			v := oldID[from]
+			msg := e.msgOf[v]
+			e.procs[u].Deliver(r, msg)
+			e.mon.observe(r, u, msg)
+			res.Deliveries++
+			if record {
+				recorded = append(recorded, Delivery{To: u, From: v})
+			}
+		} else {
+			e.procs[u].Deliver(r, nil)
+		}
+	}
+	if record {
+		e.recordBuf = recorded[:0]
 	}
 	return recorded
 }

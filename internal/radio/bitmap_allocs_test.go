@@ -3,6 +3,7 @@ package radio_test
 import (
 	"testing"
 
+	"repro/internal/bitrand"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/radio"
@@ -45,5 +46,45 @@ func TestBitmapDeliveryAllocs(t *testing.T) {
 	t.Logf("bitmap trial allocs/op = %v (budget %d)", got, budget)
 	if got > budget {
 		t.Errorf("bitmap trial allocs/op = %v, budget %d", got, budget)
+	}
+}
+
+// TestSparseDeliveryAllocs is the //dglint:noalloc gate for the block-sparse
+// delivery kernel (deliverSparse) and the batched sparse coin fill: once the
+// per-graph memos (decomposition, cluster order, sparse mask rows) are warm
+// — AllocsPerRun's untimed warm-up run builds them — a sparse-plan trial
+// must match the dense gate's whole-trial budget, with the kernel, the
+// summary pruning, and the cluster-major id translation contributing zero
+// allocations per round.
+func TestSparseDeliveryAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs steady-state pooling")
+	}
+	src := bitrand.New(0x59a5)
+	net := graph.UniformDual(graph.RingChords(src, 4096, 8192))
+	spec := radio.Spec{Problem: radio.GlobalBroadcast, Source: 0}
+
+	seed := uint64(0)
+	trial := func() {
+		seed++
+		_, err := radio.Run(radio.Config{
+			Net:              net,
+			Algorithm:        core.DecayGlobal{},
+			Spec:             spec,
+			Seed:             seed,
+			MaxRounds:        256,
+			Plan:             radio.PlanBitmapSparse,
+			IgnoreCompletion: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const budget = 6
+	got := testing.AllocsPerRun(100, trial)
+	t.Logf("sparse trial allocs/op = %v (budget %d)", got, budget)
+	if got > budget {
+		t.Errorf("sparse trial allocs/op = %v, budget %d", got, budget)
 	}
 }

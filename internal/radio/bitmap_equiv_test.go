@@ -3,6 +3,7 @@ package radio_test
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/bitrand"
@@ -11,11 +12,12 @@ import (
 	"repro/internal/radio"
 )
 
-// The word-parallel delivery path must be observationally identical to the
+// The word-parallel delivery paths must be observationally identical to the
 // scalar CSR walk: same transmitters, same delivery set, same monitor
 // verdicts, same per-node energy — for every adversary class and across
-// epoch swaps. These tests run each configuration under PlanScalar and
-// PlanBitmap with the same seed and compare everything the engine reports.
+// epoch swaps. These tests run each configuration under PlanScalar,
+// PlanBitmap, and PlanBitmapSparse with the same seed and compare everything
+// the engine reports (a three-way differential).
 
 // fixedLink commits a static schedule replaying one selector.
 type fixedLink struct{ sel graph.EdgeSelector }
@@ -83,31 +85,34 @@ func runPlan(t testing.TB, cfg radio.Config, plan radio.DeliveryPlan) (radio.Res
 	return res, rec
 }
 
-// comparePlans runs cfg under both plans and fails on any observable
-// difference. The bitmap path reports deliveries in ascending node order
+// comparePlans runs cfg under the scalar, dense-bitmap, and sparse-bitmap
+// plans and fails on any observable difference. The bitmap paths report
+// deliveries in ascending node order (dense) or cluster-major order (sparse)
 // rather than discovery order, so per-round delivery lists compare as sets.
 func comparePlans(t testing.TB, cfg radio.Config) {
 	t.Helper()
 	sres, srec := runPlan(t, cfg, radio.PlanScalar)
-	bres, brec := runPlan(t, cfg, radio.PlanBitmap)
-	if !reflect.DeepEqual(sres, bres) {
-		t.Errorf("results differ:\n scalar: %+v\n bitmap: %+v", sres, bres)
-	}
-	if len(srec.Rounds) != len(brec.Rounds) {
-		t.Fatalf("round counts differ: scalar %d, bitmap %d", len(srec.Rounds), len(brec.Rounds))
-	}
-	for i := range srec.Rounds {
-		sr, br := srec.Rounds[i], brec.Rounds[i]
-		if !reflect.DeepEqual(sr.Transmitters, br.Transmitters) {
-			t.Fatalf("round %d transmitters differ: scalar %v, bitmap %v", sr.Round, sr.Transmitters, br.Transmitters)
+	for _, plan := range []radio.DeliveryPlan{radio.PlanBitmap, radio.PlanBitmapSparse} {
+		bres, brec := runPlan(t, cfg, plan)
+		if !reflect.DeepEqual(sres, bres) {
+			t.Errorf("results differ:\n scalar: %+v\n %v: %+v", sres, plan, bres)
 		}
-		if sr.SelectorKind != br.SelectorKind {
-			t.Fatalf("round %d selector kind differs: scalar %q, bitmap %q", sr.Round, sr.SelectorKind, br.SelectorKind)
+		if len(srec.Rounds) != len(brec.Rounds) {
+			t.Fatalf("round counts differ: scalar %d, %v %d", len(srec.Rounds), plan, len(brec.Rounds))
 		}
-		radio.SortDeliveries(sr.Deliveries)
-		radio.SortDeliveries(br.Deliveries)
-		if !reflect.DeepEqual(sr.Deliveries, br.Deliveries) {
-			t.Fatalf("round %d deliveries differ:\n scalar: %v\n bitmap: %v", sr.Round, sr.Deliveries, br.Deliveries)
+		for i := range srec.Rounds {
+			sr, br := srec.Rounds[i], brec.Rounds[i]
+			if !reflect.DeepEqual(sr.Transmitters, br.Transmitters) {
+				t.Fatalf("round %d transmitters differ: scalar %v, %v %v", sr.Round, sr.Transmitters, plan, br.Transmitters)
+			}
+			if sr.SelectorKind != br.SelectorKind {
+				t.Fatalf("round %d selector kind differs: scalar %q, %v %q", sr.Round, sr.SelectorKind, plan, br.SelectorKind)
+			}
+			radio.SortDeliveries(sr.Deliveries)
+			radio.SortDeliveries(br.Deliveries)
+			if !reflect.DeepEqual(sr.Deliveries, br.Deliveries) {
+				t.Fatalf("round %d deliveries differ:\n scalar: %v\n %v: %v", sr.Round, sr.Deliveries, plan, br.Deliveries)
+			}
 		}
 	}
 }
@@ -244,14 +249,16 @@ func FuzzBitmapScalarEquivalence(f *testing.F) {
 			Seed: seed, MaxRounds: 64, IgnoreCompletion: local}
 		comparePlans(t, cfg)
 
-		_, brec := runPlan(t, cfg, radio.PlanBitmap)
-		for _, r := range brec.Rounds {
-			want := radio.ReferenceDeliveries(d, r.Selector, r.Transmitters)
-			radio.SortDeliveries(want)
-			got := append([]radio.Delivery(nil), r.Deliveries...)
-			radio.SortDeliveries(got)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("round %d deliveries diverge from reference:\n got:  %v\n want: %v", r.Round, got, want)
+		for _, plan := range []radio.DeliveryPlan{radio.PlanBitmap, radio.PlanBitmapSparse} {
+			_, brec := runPlan(t, cfg, plan)
+			for _, r := range brec.Rounds {
+				want := radio.ReferenceDeliveries(d, r.Selector, r.Transmitters)
+				radio.SortDeliveries(want)
+				got := append([]radio.Delivery(nil), r.Deliveries...)
+				radio.SortDeliveries(got)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v round %d deliveries diverge from reference:\n got:  %v\n want: %v", plan, r.Round, got, want)
+				}
 			}
 		}
 	})
@@ -267,8 +274,17 @@ func TestMaxRoundsGuard(t *testing.T) {
 		Algorithm: core.RoundRobin{},
 		Spec:      radio.Spec{Problem: radio.GlobalBroadcast, Source: 0},
 	}
-	if _, err := radio.Run(cfg); !errors.Is(err, radio.ErrBadConfig) {
+	_, err := radio.Run(cfg)
+	if !errors.Is(err, radio.ErrBadConfig) {
 		t.Fatalf("n=4200 without MaxRounds: got err %v, want ErrBadConfig", err)
+	}
+	// Regression: the refusal must say what was exceeded — the computed
+	// default budget (64·4200² = 1128960000 rounds) and the cap it is
+	// allowed up to (4096 nodes) — so the caller can act on the message.
+	for _, want := range []string{"1128960000", "4096"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("guard message %q does not report %q", err.Error(), want)
+		}
 	}
 	cfg.MaxRounds = 50
 	if _, err := radio.Run(cfg); err != nil {
@@ -302,10 +318,12 @@ func TestPlanValidation(t *testing.T) {
 		t.Errorf("out-of-range plan: got err %v, want ErrBadConfig", err)
 	}
 
-	cfg = base
-	cfg.Plan = radio.PlanBitmap
-	cfg.UseCliqueCover = true
-	if _, err := radio.Run(cfg); !errors.Is(err, radio.ErrBadConfig) {
-		t.Errorf("PlanBitmap+UseCliqueCover: got err %v, want ErrBadConfig", err)
+	for _, plan := range []radio.DeliveryPlan{radio.PlanBitmap, radio.PlanBitmapSparse} {
+		cfg = base
+		cfg.Plan = plan
+		cfg.UseCliqueCover = true
+		if _, err := radio.Run(cfg); !errors.Is(err, radio.ErrBadConfig) {
+			t.Errorf("%v+UseCliqueCover: got err %v, want ErrBadConfig", plan, err)
+		}
 	}
 }

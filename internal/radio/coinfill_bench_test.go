@@ -1,0 +1,55 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// BenchmarkCoinFill measures the batched transmit-coin fill (stepBatch)
+// against the per-node bulk loop it replaces, on both bitmap layouts. The
+// flood probability is kept low so the delivery kernels see few transmitters
+// and the coin draws dominate: the measured gap is the per-node dispatch
+// overhead (interface call + txByNode bookkeeping per node) that the batch
+// path folds into one pass over the per-node streams. Forced plans pin
+// bitmapTxMin = 0 so every round stays on its kernel. Lives in the package
+// so it can reach the disableCoinBatch hook; BENCH_pr9.json tracks the
+// batched/per-node ratio.
+func BenchmarkCoinFill(b *testing.B) {
+	var src bitrand.Source
+	src.Reseed(0xc01f)
+	dense := graph.UniformDual(graph.Circulant(8192, 64))
+	sparse := graph.UniformDual(graph.RingChords(&src, 65536, 131072))
+
+	run := func(b *testing.B, net *graph.Dual, plan DeliveryPlan, disable bool) {
+		b.Helper()
+		b.ReportAllocs()
+		prev := disableCoinBatch
+		disableCoinBatch = disable
+		defer func() { disableCoinBatch = prev }()
+		everyone := make([]graph.NodeID, net.N())
+		for u := range everyone {
+			everyone[u] = u
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := Run(Config{
+				Net:              net,
+				Algorithm:        batchAlg{p: 0.05},
+				Spec:             Spec{Problem: LocalBroadcast, Broadcasters: everyone},
+				Seed:             uint64(i),
+				MaxRounds:        64,
+				Plan:             plan,
+				IgnoreCompletion: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dense/n=8192/batched", func(b *testing.B) { run(b, dense, PlanBitmap, false) })
+	b.Run("dense/n=8192/per-node", func(b *testing.B) { run(b, dense, PlanBitmap, true) })
+	b.Run("sparse/n=65536/batched", func(b *testing.B) { run(b, sparse, PlanBitmapSparse, false) })
+	b.Run("sparse/n=65536/per-node", func(b *testing.B) { run(b, sparse, PlanBitmapSparse, true) })
+}

@@ -186,6 +186,26 @@ type engine struct {
 	bulkSteps   []BulkStepper
 	allBulk     bool
 
+	// Block-sparse delivery state, set when plan is PlanBitmapSparse: the
+	// epoch's sparse mask rows for G and G' (sparseGP nil without a link),
+	// the cluster-major permutation pair they are stored under, the region
+	// shift of the per-row occupancy summaries, and the current round's
+	// transmitter-side summary (txSumm), rebuilt by every fill.
+	sparseG  *graph.SparseNeighborMasks
+	sparseGP *graph.SparseNeighborMasks
+	newID    []graph.NodeID
+	oldID    []graph.NodeID
+	sumShift uint
+	txSumm   uint64
+
+	// Batched coin-fill state: batchCoins (derived by setupPlan) reports
+	// that stepBatch may draw the round's coins straight into txWords;
+	// txFilled marks a round whose transmitters live only in the bitmap
+	// (txCount of them), consumed and cleared by deliver.
+	batchCoins bool
+	txFilled   bool
+	txCount    int
+
 	txByNode []int64
 
 	// Per-round buffers, views into the pooled scratch (see scratch.go).
@@ -243,16 +263,18 @@ func newEngine(cfg Config) (*engine, error) {
 	n := cfg.Net.N()
 	if cfg.MaxRounds <= 0 {
 		if n > maxDefaultRoundsNodes {
-			return nil, fmt.Errorf("%w: no MaxRounds set for n=%d nodes; the 64·n² default (%d rounds) only applies up to n=%d — set an explicit round budget",
-				ErrBadConfig, n, 64*n*n, maxDefaultRoundsNodes)
+			// int64 math: at n = 10⁶ the would-be default is 6.4×10¹³ rounds,
+			// which must survive into the message intact on any platform.
+			return nil, fmt.Errorf("%w: no MaxRounds set for n=%d nodes: the computed 64·n² default would be %d rounds, and the default is only allowed up to the %d-node cap — set an explicit round budget",
+				ErrBadConfig, n, 64*int64(n)*int64(n), maxDefaultRoundsNodes)
 		}
 		cfg.MaxRounds = 64 * n * n
 	}
-	if cfg.Plan < PlanAuto || cfg.Plan > PlanBitmap {
+	if cfg.Plan < PlanAuto || cfg.Plan > PlanBitmapSparse {
 		return nil, fmt.Errorf("%w: unknown delivery plan %d", ErrBadConfig, cfg.Plan)
 	}
-	if cfg.Plan == PlanBitmap && cfg.UseCliqueCover {
-		return nil, fmt.Errorf("%w: PlanBitmap and UseCliqueCover are mutually exclusive delivery accelerators", ErrBadConfig)
+	if (cfg.Plan == PlanBitmap || cfg.Plan == PlanBitmapSparse) && cfg.UseCliqueCover {
+		return nil, fmt.Errorf("%w: %v and UseCliqueCover are mutually exclusive delivery accelerators", ErrBadConfig, cfg.Plan)
 	}
 	e := &engine{cfg: cfg, net: cfg.Net, n: n, epochs: cfg.Epochs, sc: getScratch(n)}
 	//dglint:allow viewescape: engine-owned hoist, re-synced by swapEpoch at every epoch boundary
@@ -536,12 +558,17 @@ func (e *engine) step(r int, res *Result) {
 	}
 
 	// 2. Flip the coins: every process steps. When every process is a
-	// BulkStepper and the bitmap plan is active, the engine runs the round's
+	// BulkStepper and a bitmap plan is active, the engine runs the round's
 	// Bernoulli trials itself — same per-node streams, same ascending order,
 	// so the draws are bit-for-bit identical to the Step dispatch — and
-	// fills the transmit set without constructing Actions.
+	// fills the transmit set without constructing Actions. With no consumer
+	// of the per-round transmitter list (batchCoins), the coins land
+	// straight in the transmitter bitmap and e.tx is not built at all.
 	e.tx = e.tx[:0]
-	if e.allBulk && e.plan == PlanBitmap {
+	switch {
+	case e.batchCoins:
+		e.stepBatch(r, res)
+	case e.allBulk && e.plan != PlanScalar:
 		for u, bs := range e.bulkSteps {
 			if e.nodeRngs[u].Coin(bs.TransmitProb(r)) {
 				msg := bs.Frame(r)
@@ -553,7 +580,8 @@ func (e *engine) step(r int, res *Result) {
 				e.txByNode[u]++
 			}
 		}
-	} else {
+		res.Transmissions += int64(len(e.tx))
+	default:
 		for u, p := range e.procs {
 			act := p.Step(r, e.nodeRngs[u])
 			if act.Transmit {
@@ -569,8 +597,8 @@ func (e *engine) step(r int, res *Result) {
 				e.txByNode[u]++
 			}
 		}
+		res.Transmissions += int64(len(e.tx))
 	}
-	res.Transmissions += int64(len(e.tx))
 
 	// 3. The offline adaptive adversary sees the realized transmitters.
 	if e.offline != nil {
@@ -596,8 +624,77 @@ func (e *engine) step(r int, res *Result) {
 		e.cfg.Recorder.Record(rec)
 	}
 
-	// Remember this round's transmitters for the next round's view.
-	e.lastTx = append(e.lastTx[:0], e.tx...)
+	// Remember this round's transmitters for the next round's view. Only
+	// adaptive adversaries read LastTransmitters, and batchCoins excludes
+	// them, so batch-handled rounds (which never materialize e.tx) are safe.
+	if e.online != nil || e.offline != nil {
+		e.lastTx = append(e.lastTx[:0], e.tx...)
+	}
+}
+
+// stepBatch is the batched transmit-coin fill: one pass over the nodes in
+// ascending original id draws each node's round-r coin from its own stream
+// (bit-for-bit the order the per-node paths use) and writes heads straight
+// into the transmitter bitmap — whole words at a time on the dense plan,
+// scattered cluster-major bits plus the incremental region summary on the
+// sparse plan. No transmitter list is built; deliver reconstructs one only
+// for rounds that fall off the bitmap kernels (see rebuildTx).
+//
+//dglint:noalloc gate=TestBitmapDeliveryAllocs
+func (e *engine) stepBatch(r int, res *Result) {
+	txw := e.txWords
+	count := 0
+	if len(txw) == 0 { // 0-node network under a forced plan
+		e.txFilled, e.txCount = true, 0
+		return
+	}
+	if e.plan == PlanBitmapSparse {
+		clear(txw)
+		var s uint64
+		shift := e.sumShift
+		for u, bs := range e.bulkSteps {
+			if e.nodeRngs[u].Coin(bs.TransmitProb(r)) {
+				msg := bs.Frame(r)
+				if msg == nil {
+					msg = &e.noise[u]
+				}
+				e.msgOf[u] = msg
+				e.txByNode[u]++
+				nv := e.newID[u]
+				txw[nv>>6] |= 1 << (uint(nv) & 63)
+				s |= 1 << (uint(nv>>6) >> shift)
+				count++
+			}
+		}
+		e.txSumm = s
+	} else {
+		// Dense: bits land at the original ids, so 64 consecutive coins fill
+		// one register that is flushed as a single word store. Every word of
+		// the bitmap is flushed exactly once, which doubles as the clear.
+		var w uint64
+		wi := 0
+		for u, bs := range e.bulkSteps {
+			if u>>6 != wi {
+				txw[wi] = w
+				w = 0
+				wi = u >> 6
+			}
+			if e.nodeRngs[u].Coin(bs.TransmitProb(r)) {
+				msg := bs.Frame(r)
+				if msg == nil {
+					msg = &e.noise[u]
+				}
+				e.msgOf[u] = msg
+				e.txByNode[u]++
+				w |= 1 << (uint(u) & 63)
+				count++
+			}
+		}
+		txw[wi] = w
+	}
+	e.txFilled = true
+	e.txCount = count
+	res.Transmissions += int64(count)
 }
 
 // deliver computes receptions under the round topology G ∪ selector(E'\E)
@@ -607,14 +704,38 @@ func (e *engine) step(r int, res *Result) {
 //
 //dglint:noalloc gate=TestHotPathAllocs
 func (e *engine) deliver(selector graph.EdgeSelector, r int, res *Result) []Delivery {
-	// Word-parallel dispatch: rounds whose selector has precomputed mask
-	// rows and enough transmitters to beat the CSR walk go through the
-	// bitmap kernel. The complete-graph fast path below stays first in line
-	// (it is O(n) with no per-word work).
-	if e.plan == PlanBitmap && len(e.tx) >= e.bitmapTxMin &&
-		!(selector.All() && e.net.UnionComplete()) {
-		if rows := e.roundRows(selector); rows != nil {
-			return e.deliverBitmap(r, res, rows)
+	// Batch-filled rounds: the transmitters already live in the bitmap, so
+	// rounds the word-parallel kernels can serve go straight there with no
+	// refill. Rounds that fall off them — too few transmitters, a selector
+	// without precomputed rows, or the complete-graph fast path — first
+	// reconstruct the transmitter list the per-node fill would have built.
+	if e.txFilled {
+		e.txFilled = false
+		if e.txCount >= e.bitmapTxMin && !(selector.All() && e.net.UnionComplete()) {
+			if e.plan == PlanBitmapSparse {
+				if m := e.roundSparse(selector); m != nil {
+					return e.deliverSparse(r, res, m)
+				}
+			} else if rows := e.roundRows(selector); rows != nil {
+				return e.scanBitmap(r, res, rows)
+			}
+		}
+		e.rebuildTx()
+	} else if len(e.tx) >= e.bitmapTxMin && !(selector.All() && e.net.UnionComplete()) {
+		// Word-parallel dispatch: rounds whose selector has precomputed mask
+		// rows and enough transmitters to beat the CSR walk go through a
+		// bitmap kernel. The complete-graph fast path below stays first in
+		// line (it is O(n) with no per-word work).
+		switch e.plan {
+		case PlanBitmap:
+			if rows := e.roundRows(selector); rows != nil {
+				return e.deliverBitmap(r, res, rows)
+			}
+		case PlanBitmapSparse:
+			if m := e.roundSparse(selector); m != nil {
+				e.fillTxSparse()
+				return e.deliverSparse(r, res, m)
+			}
 		}
 	}
 

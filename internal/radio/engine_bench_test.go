@@ -107,6 +107,58 @@ func BenchmarkEngineRoundDelivery(b *testing.B) {
 	b.Run("dense/n=10000/auto", func(b *testing.B) { runDense(b, radio.PlanAuto) })
 }
 
+// BenchmarkSparseDelivery measures full aloha trials on the SCALE-family
+// ring-with-chords substrates across the delivery plans that can carry them:
+// the scalar CSR walk, the dense word-parallel kernel (only legal up to the
+// dense-mask node cap), and the block-sparse kernel the large sizes exist
+// for. Every node transmits at p = 1/2, the bitmap regime; IgnoreCompletion
+// pins the round count so ns/op compares across plans (BENCH_pr9.json tracks
+// the dense/sparse and scalar/sparse ratios). The substrates are built
+// lazily and memoized for the same reason as the dense circulant above — the
+// 10⁶-node dual alone holds ~10⁷ CSR entries plus its memoized sparse masks.
+func BenchmarkSparseDelivery(b *testing.B) {
+	nets := map[int]*graph.Dual{}
+	mk := func(n int) *graph.Dual {
+		if d := nets[n]; d != nil {
+			return d
+		}
+		src := bitrand.New(uint64(n))
+		d := graph.AugmentDual(src, graph.RingChords(src, n, 2*n), n)
+		nets[n] = d
+		return d
+	}
+	run := func(b *testing.B, n, rounds int, plan radio.DeliveryPlan) {
+		b.Helper()
+		net := mk(n)
+		everyone := make([]graph.NodeID, n)
+		for u := range everyone {
+			everyone[u] = u
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := radio.Run(radio.Config{
+				Net:              net,
+				Algorithm:        core.Aloha{P: 0.5},
+				Spec:             radio.Spec{Problem: radio.LocalBroadcast, Broadcasters: everyone},
+				Seed:             uint64(i),
+				MaxRounds:        rounds,
+				Plan:             plan,
+				IgnoreCompletion: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("n=10000/scalar", func(b *testing.B) { run(b, 10000, 32, radio.PlanScalar) })
+	b.Run("n=10000/dense", func(b *testing.B) { run(b, 10000, 32, radio.PlanBitmap) })
+	b.Run("n=10000/sparse", func(b *testing.B) { run(b, 10000, 32, radio.PlanBitmapSparse) })
+	b.Run("n=100000/scalar", func(b *testing.B) { run(b, 100000, 16, radio.PlanScalar) })
+	b.Run("n=100000/sparse", func(b *testing.B) { run(b, 100000, 16, radio.PlanBitmapSparse) })
+	b.Run("n=1000000/sparse", func(b *testing.B) { run(b, 1000000, 8, radio.PlanBitmapSparse) })
+}
+
 // BenchmarkEpochSwap measures full trials under a topology schedule against
 // the identical static trial. The revisions are precompiled once (as the
 // scenario layer does), so the only per-trial epoch cost is swapping hoisted

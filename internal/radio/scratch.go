@@ -107,9 +107,15 @@ const (
 	// scratchMinClass is the smallest bucket; every n up to 1<<scratchMinClass
 	// shares it.
 	scratchMinClass = 6
-	// scratchMaxClass is the largest pooled bucket (n ≤ 65536); larger
-	// scratches are dropped on release instead of pooled.
-	scratchMaxClass = 16
+	// scratchMaxClass is the largest pooled bucket (n ≤ 2²⁰, covering the
+	// SCALE-n family's million-node trials); larger scratches are dropped on
+	// release instead of pooled. The huge classes cost tens of MB of linear
+	// slabs each while pooled, but a million-node experiment runs many
+	// trials back to back and re-allocating ~50 MB per trial churned the GC
+	// far harder than pinning one slab set per class — and sync.Pool
+	// releases them under memory pressure anyway. The quadratic slab risk
+	// stays bounded by maxPooledMaskWords below.
+	scratchMaxClass = 20
 	// maxPooledMaskWords bounds the static-selector mask slab a pooled
 	// scratch may retain: the slab is n·W words (quadratic in n), so even
 	// within a pooled class it can dwarf every linear slab combined. Larger

@@ -58,6 +58,20 @@ func TestScratchPoolClasses(t *testing.T) {
 	}
 	putScratch(s3)
 
+	// Million-node trials land in the top pooled class (the PR 9 huge-class
+	// policy: SCALE-n at n = 10⁶ must reuse its slabs across trials instead
+	// of churning ~50 MB of fresh allocation per trial).
+	mega := getScratch(1_000_000)
+	if mega.class != 20 {
+		t.Fatalf("getScratch(1e6).class = %d, want 20", mega.class)
+	}
+	putScratch(mega)
+	mega2 := getScratch(1 << 20)
+	if mega2 != mega {
+		t.Errorf("million-node checkout did not reuse the pooled class-20 scratch")
+	}
+	putScratch(mega2)
+
 	// Oversized (beyond scratchMaxClass): never pooled in either direction.
 	huge := getScratch(1<<scratchMaxClass + 1)
 	if huge.class != -1 {
