@@ -8,12 +8,20 @@
 //
 //	dgbench                    # quick suite (seconds)
 //	dgbench -list              # print the experiment index, run nothing
+//	dgbench -list -json        # machine-readable registry (IDs, task counts)
 //	dgbench -all               # whole registry through one shared worker pool
 //	dgbench -full              # full suite (minutes)
 //	dgbench -run F1-online     # only matching experiment ids
 //	dgbench -workers 4         # bound the trial worker pool (0 = GOMAXPROCS)
+//	dgbench -cache DIR         # content-addressed result cache (see dgserved)
 //	dgbench -csv               # tables as CSV
 //	dgbench -markdown          # reference-table markdown output
+//
+// Execution goes through the same run-service core as dgserved
+// (internal/runsvc): the run is planned, partitioned against the result
+// cache when -cache is set, and the delta executed; output is byte-identical
+// to a cache-less run, and a repeated invocation over a warm cache executes
+// zero tasks.
 //
 // The suite also runs sharded across machines. Every (experiment ×
 // sweep-point × trial) task is independently seeded, so the work queue
@@ -32,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,59 +51,15 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/runsvc"
 	"repro/internal/shard"
-	"repro/internal/viz"
 )
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dgbench:", err)
 		os.Exit(1)
-	}
-}
-
-// printOpts selects the output format for one experiment result.
-type printOpts struct {
-	markdown bool
-	csv      bool
-	plot     bool
-	// elapsed is printed in the default format when non-zero; the -all and
-	// -merge modes omit it because experiments overlap on the shared pool
-	// (and so the output stays byte-identical across worker counts and
-	// shardings).
-	elapsed time.Duration
-}
-
-func printResult(w io.Writer, res *experiments.Result, opts printOpts) {
-	switch {
-	case opts.markdown:
-		fmt.Fprintf(w, "### %s — %s\n\n", res.ID, res.Title)
-		fmt.Fprintf(w, "Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
-		for _, n := range res.Notes {
-			fmt.Fprintf(w, "- %s\n", n)
-		}
-		fmt.Fprintf(w, "\n")
-	case opts.csv:
-		fmt.Fprintf(w, "# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
-	default:
-		if opts.elapsed > 0 {
-			fmt.Fprintf(w, "=== %s — %s  [%v]\n", res.ID, res.Title, opts.elapsed.Round(time.Millisecond))
-		} else {
-			fmt.Fprintf(w, "=== %s — %s\n", res.ID, res.Title)
-		}
-		fmt.Fprintf(w, "paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
-		for _, n := range res.Notes {
-			fmt.Fprintf(w, "  %s\n", n)
-		}
-		if opts.plot && len(res.Series) > 0 {
-			p := viz.NewPlot(56, 12)
-			p.LogX, p.LogY = true, true
-			for _, s := range res.Series {
-				p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
-			}
-			fmt.Fprintf(w, "\nscaling (log-log):\n%s", p.Render())
-		}
-		fmt.Fprintf(w, "\n")
 	}
 }
 
@@ -118,21 +83,11 @@ func parseShardSpec(spec string) (index, count int, err error) {
 	return index, count, nil
 }
 
-// printSummary prints the run's verdict line and converts deviations into
-// the process exit error, identically for -all, per-experiment, and -merge
-// modes (so merged output is byte-for-byte a single-machine run's).
-func printSummary(w io.Writer, ran, failed int) error {
-	fmt.Fprintf(w, "%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
-	if failed > 0 {
-		return fmt.Errorf("%d experiments deviated from the paper's claims", failed)
-	}
-	return nil
-}
-
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "print the experiment index (ID and title) without running anything")
+		jsonOut   = fs.Bool("json", false, "with -list: emit the machine-readable registry (IDs, task counts, trials)")
 		full      = fs.Bool("full", false, "full-scale sweeps (minutes) instead of quick")
 		quick     = fs.Bool("quick", true, "reduced sweeps for fast runs (ignored when -full is set)")
 		all       = fs.Bool("all", false, "run every selected experiment concurrently through one shared worker pool")
@@ -143,6 +98,7 @@ func run(w io.Writer, args []string) error {
 		markdown  = fs.Bool("markdown", false, "emit reference-table markdown")
 		plot      = fs.Bool("plot", false, "render scaling curves as log-log ASCII plots")
 		seed      = fs.Uint64("seed", 0, "base seed offset")
+		cacheDir  = fs.String("cache", "", "content-addressed result cache directory (shared with dgserved)")
 		shardSpec = fs.String("shard", "", "execute shard i/K of the task plan and write an artifact (requires -out)")
 		out       = fs.String("out", "", "artifact path for -shard")
 		merge     = fs.String("merge", "", "merge shard artifacts matching this glob and replay the aggregation")
@@ -156,35 +112,48 @@ func run(w io.Writer, args []string) error {
 		BaseSeed: *seed,
 		Workers:  *workers,
 	}
-	opts := printOpts{markdown: *markdown, csv: *csv, plot: *plot}
+	opts := report.Options{Markdown: *markdown, CSV: *csv, Plot: *plot}
 
 	if *list {
 		// -list is a mode flag like -shard and -merge: it runs nothing, so
-		// combining it with an execution mode is a contradiction. Only the
-		// -run filter composes with it.
+		// combining it with an execution mode is a contradiction. The -run
+		// filter composes with it; -json additionally admits the
+		// configuration flags, because task counts depend on them.
+		allowed := map[string]bool{"list": true, "run": true, "json": true}
+		if *jsonOut {
+			for _, name := range []string{"full", "quick", "trials", "seed"} {
+				allowed[name] = true
+			}
+		}
 		var conflict []string
 		fs.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "list", "run":
-			default:
+			if !allowed[f.Name] {
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
 		if len(conflict) > 0 {
 			return fmt.Errorf("-list prints the experiment index without running anything; drop %s", strings.Join(conflict, " "))
 		}
-		matched := 0
-		for _, e := range experiments.All() {
-			if *filter != "" && !strings.Contains(e.ID, *filter) {
-				continue
+		selected, err := selectExperiments(*filter)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			entries, err := runsvc.Catalog(cfg, selected)
+			if err != nil {
+				return err
 			}
-			matched++
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(entries)
+		}
+		for _, e := range selected {
 			fmt.Fprintf(w, "%-28s %s\n", e.ID, e.Title)
 		}
-		if matched == 0 {
-			return fmt.Errorf("no experiment matches -run %q", *filter)
-		}
 		return nil
+	}
+	if *jsonOut {
+		return fmt.Errorf("-json is a -list output format; add -list")
 	}
 	if *merge != "" {
 		// The merge reads its experiment selection and run configuration out
@@ -207,15 +176,9 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("-out is only written by -shard; drop it or add -shard i/K")
 	}
 
-	var selected []experiments.Experiment
-	for _, e := range experiments.All() {
-		if *filter != "" && !strings.Contains(e.ID, *filter) {
-			continue
-		}
-		selected = append(selected, e)
-	}
-	if len(selected) == 0 {
-		return fmt.Errorf("no experiment matches -run %q", *filter)
+	selected, err := selectExperiments(*filter)
+	if err != nil {
+		return err
 	}
 
 	if *shardSpec != "" {
@@ -238,49 +201,103 @@ func run(w io.Writer, args []string) error {
 		return runShard(w, cfg, selected, index, count, *out)
 	}
 
-	ran, failed := 0, 0
+	// Both execution modes drive the run-service core: the service resolves
+	// the spec, plans, partitions against the cache, executes the delta, and
+	// merges — dgbench only selects, renders, and times.
+	svc, err := runsvc.New(runsvc.Options{CacheDir: *cacheDir, MaxInFlight: 1})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	spec := runsvc.Spec{
+		Full:    !cfg.Quick,
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+	}
+
 	if *all {
 		// One shared pool: every (experiment × sweep-point × trial) triple of
 		// the selection lands in the same work queue.
+		spec.Experiments = experimentIDs(selected)
 		start := time.Now()
-		results, errs := experiments.RunAll(cfg, selected)
-		for i, e := range selected {
-			if errs[i] != nil {
-				return fmt.Errorf("%s: %w", e.ID, errs[i])
-			}
-			ran++
-			if !results[i].Pass {
-				failed++
-			}
-			printResult(w, results[i], opts)
+		r, err := svc.RunSync(spec)
+		if err != nil {
+			return err
 		}
-		if !*csv && !*markdown {
-			fmt.Fprintf(w, "shared pool: %d workers, %v total\n", cfg.EffectiveWorkers(), time.Since(start).Round(time.Millisecond))
+		results, err := r.Results()
+		if err != nil {
+			return err
 		}
-	} else {
-		for _, e := range selected {
-			start := time.Now()
-			res, err := e.Run(cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			ran++
+		failed := 0
+		for _, res := range results {
 			if !res.Pass {
 				failed++
 			}
-			perExp := opts
-			perExp.elapsed = time.Since(start)
-			printResult(w, res, perExp)
+			report.Result(w, res, opts)
 		}
+		if !*csv && !*markdown {
+			fmt.Fprintf(w, "shared pool: %d workers, %v total\n", cfg.EffectiveWorkers(), time.Since(start).Round(time.Millisecond))
+			if *cacheDir != "" {
+				fmt.Fprintf(w, "cache: %d tasks served, %d executed\n", r.CachedTasks(), r.ExecutedTasks())
+			}
+		}
+		return report.Summary(w, len(results), failed)
 	}
-	return printSummary(w, ran, failed)
+
+	ran, failed := 0, 0
+	for _, e := range selected {
+		perExp := spec
+		perExp.Experiments = []string{e.ID}
+		start := time.Now()
+		r, err := svc.RunSync(perExp)
+		if err != nil {
+			return err
+		}
+		results, err := r.Results()
+		if err != nil {
+			return err
+		}
+		ran++
+		if !results[0].Pass {
+			failed++
+		}
+		perOpts := opts
+		perOpts.Elapsed = time.Since(start)
+		report.Result(w, results[0], perOpts)
+	}
+	return report.Summary(w, ran, failed)
+}
+
+// selectExperiments resolves the -run substring filter against the
+// registry, failing when nothing matches.
+func selectExperiments(filter string) ([]experiments.Experiment, error) {
+	var selected []experiments.Experiment
+	for _, e := range experiments.All() {
+		if filter != "" && !strings.Contains(e.ID, filter) {
+			continue
+		}
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiment matches -run %q", filter)
+	}
+	return selected, nil
+}
+
+func experimentIDs(exps []experiments.Experiment) []string {
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // runShard executes one shard of the selection's task plan and writes the
 // artifact: the plan itself, this shard's owned task records, and the run
 // configuration the merge will replay under.
 func runShard(w io.Writer, cfg experiments.Config, selected []experiments.Experiment, index, count int, outPath string) error {
-	art, err := experiments.ExecuteShard(cfg, selected, index, count)
+	art, err := runsvc.ExecuteShardSpec(cfg, selected, index, count)
 	if err != nil {
 		return err
 	}
@@ -299,7 +316,7 @@ func runShard(w io.Writer, cfg experiments.Config, selected []experiments.Experi
 // runMerge loads every artifact matching the glob, validates that they tile
 // one run's task plan exactly, replays the aggregation, and prints the
 // results exactly as a single-machine run would.
-func runMerge(w io.Writer, glob string, opts printOpts) error {
+func runMerge(w io.Writer, glob string, opts report.Options) error {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
 		return fmt.Errorf("-merge %q: %w", glob, err)
@@ -313,25 +330,16 @@ func runMerge(w io.Writer, glob string, opts printOpts) error {
 			return err
 		}
 	}
-	merged, err := shard.Merge(arts)
+	results, _, err := runsvc.MergeArtifacts(arts)
 	if err != nil {
 		return err
 	}
-	exps, err := experiments.MergedExperiments(merged)
-	if err != nil {
-		return err
-	}
-	results, errs := experiments.RunMerged(experiments.ConfigFromMerged(merged), exps, merged)
-	ran, failed := 0, 0
-	for i, e := range exps {
-		if errs[i] != nil {
-			return fmt.Errorf("%s: %w", e.ID, errs[i])
-		}
-		ran++
-		if !results[i].Pass {
+	failed := 0
+	for _, res := range results {
+		if !res.Pass {
 			failed++
 		}
-		printResult(w, results[i], opts)
+		report.Result(w, res, opts)
 	}
-	return printSummary(w, ran, failed)
+	return report.Summary(w, len(results), failed)
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runsvc"
 )
 
 func TestRunFilteredQuick(t *testing.T) {
@@ -115,7 +118,9 @@ func TestListExperiments(t *testing.T) {
 }
 
 // TestListFlagValidation rejects -list combined with execution modes, the
-// same way the other mode flags reject each other.
+// same way the other mode flags reject each other. Plain -list also rejects
+// the configuration flags (they cannot change an ID/title index); -json is
+// only meaningful under -list.
 func TestListFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-list", "-shard", "1/2", "-out", "x.json"},
@@ -123,10 +128,106 @@ func TestListFlagValidation(t *testing.T) {
 		{"-list", "-all"},
 		{"-list", "-markdown"},
 		{"-list", "-trials", "3"},
+		{"-list", "-json", "-markdown"},
+		{"-list", "-json", "-all"},
+		{"-json", "-run", "L3.2"},
 	} {
 		if err := run(io.Discard, args); err == nil {
 			t.Errorf("args %v accepted, want error", args)
 		}
+	}
+}
+
+// TestListJSON checks the machine-readable registry: -list -json emits a
+// JSON array of catalog entries with IDs and positive task counts, the -run
+// filter composes, and the configuration flags are admitted (task counts
+// depend on them) even though plain -list rejects them.
+func TestListJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-list", "-json", "-trials", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	var entries []runsvc.CatalogEntry
+	if err := json.Unmarshal(out.Bytes(), &entries); err != nil {
+		t.Fatalf("-list -json output is not a catalog: %v\n%s", err, out.String())
+	}
+	if len(entries) == 0 {
+		t.Fatal("-list -json emitted an empty catalog")
+	}
+	seen := map[string]runsvc.CatalogEntry{}
+	for _, e := range entries {
+		if e.ID == "" || e.Tasks <= 0 || e.Trials != 3 || !e.Quick {
+			t.Errorf("bad catalog entry: %+v", e)
+		}
+		seen[e.ID] = e
+	}
+	if _, ok := seen["L3.2-hitting"]; !ok {
+		t.Error("-list -json catalog missing L3.2-hitting")
+	}
+
+	var filtered bytes.Buffer
+	if err := run(&filtered, []string{"-list", "-json", "-run", "CHURN"}); err != nil {
+		t.Fatal(err)
+	}
+	entries = nil
+	if err := json.Unmarshal(filtered.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.ID, "CHURN") {
+			t.Errorf("-list -json -run CHURN returned %s", e.ID)
+		}
+	}
+	if len(entries) == 0 {
+		t.Error("-list -json -run CHURN returned nothing")
+	}
+}
+
+// TestRunCacheRepeat drives the CLI cache path: a second -all run against
+// the same cache directory produces byte-identical output and reports zero
+// executed tasks in the cache line.
+func TestRunCacheRepeat(t *testing.T) {
+	cache := t.TempDir()
+	base := []string{"-all", "-run", "CHURN-broadcast", "-trials", "2", "-cache", cache}
+	var cold, warm bytes.Buffer
+	if err := run(&cold, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&warm, base); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "tasks served, 0 executed") {
+		t.Errorf("warm run did not report zero executed tasks:\n%s", warm.String())
+	}
+	if !strings.Contains(cold.String(), "0 tasks served") {
+		t.Errorf("cold run reported cache hits:\n%s", cold.String())
+	}
+	// The tables are byte-identical; only the timing/cache trailer lines may
+	// differ (wall clock and hit counts).
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "shared pool:") || strings.HasPrefix(line, "cache:") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(cold.String()) != strip(warm.String()) {
+		t.Errorf("cache-served output differs from cold run\n--- cold:\n%s\n--- warm:\n%s", cold.String(), warm.String())
+	}
+	// Markdown output has no trailer lines at all, so it is byte-identical.
+	var mdCold, mdWarm bytes.Buffer
+	md := append(base, "-markdown")
+	if err := run(&mdCold, md); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&mdWarm, md); err != nil {
+		t.Fatal(err)
+	}
+	if mdCold.String() != mdWarm.String() {
+		t.Errorf("cached markdown differs from cold markdown\n--- cold:\n%s\n--- warm:\n%s", mdCold.String(), mdWarm.String())
 	}
 }
 

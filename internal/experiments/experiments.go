@@ -65,6 +65,13 @@ func (c Config) workers() int {
 // with: Workers when set, GOMAXPROCS otherwise.
 func (c Config) EffectiveWorkers() int { return c.workers() }
 
+// EffectiveTrials reports the per-point trial count this configuration runs
+// with: Trials when set, otherwise the scale default (5 quick, 15 full).
+// Callers that key derived state on a configuration — the run service's
+// content-addressed cache — normalize through this so Trials: 0 and an
+// explicit default spell the same run.
+func (c Config) EffectiveTrials() int { return c.trials() }
+
 // Series is a named scaling curve measured by an experiment, for plotting.
 type Series struct {
 	Name string

@@ -20,6 +20,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adversary"
 	"repro/internal/bitrand"
@@ -46,11 +47,36 @@ type scaleSubstrate struct {
 	net   *graph.Dual
 }
 
-// scaleNets builds the family's substrates. Diameters are kept comparable
-// across sizes (degree scales with n for the circulants; the chord expander
-// is logarithmic by construction), so the scaling curve isolates the log n
-// factors of the decay bound instead of conflating them with D growth.
+// scaleNetsMemo caches the built substrates per scale for the process
+// lifetime. Substrates are immutable and deterministic in their seeds, and a
+// service-driven run enumerates the task plan more than once per execution
+// (submit-time planning, then the execute phase's own plan) — without the
+// memo each pass would rebuild the 10⁵/10⁶-node graphs from scratch.
+var scaleNetsMemo struct {
+	sync.Mutex
+	nets map[bool][]scaleSubstrate
+}
+
 func scaleNets(full bool) []scaleSubstrate {
+	scaleNetsMemo.Lock()
+	defer scaleNetsMemo.Unlock()
+	if nets, ok := scaleNetsMemo.nets[full]; ok {
+		return nets
+	}
+	nets := buildScaleNets(full)
+	if scaleNetsMemo.nets == nil {
+		scaleNetsMemo.nets = make(map[bool][]scaleSubstrate, 2)
+	}
+	scaleNetsMemo.nets[full] = nets
+	return nets
+}
+
+// buildScaleNets builds the family's substrates. Diameters are kept
+// comparable across sizes (degree scales with n for the circulants; the
+// chord expander is logarithmic by construction), so the scaling curve
+// isolates the log n factors of the decay bound instead of conflating them
+// with D growth.
+func buildScaleNets(full bool) []scaleSubstrate {
 	build := func(n, deg, extra int, seed uint64) *graph.Dual {
 		src := bitrand.New(seed)
 		var g *graph.Graph

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -189,10 +190,20 @@ func (s *sweep) run() error {
 }
 
 // aggregate fires the aggregation closures in declaration order over the
-// sweep's records, stopping at the first error.
+// sweep's records, stopping at the first error. A *TrialError surfacing from
+// a closure has its indices rebased from point-local to sweep-local — and,
+// because every experiment declares exactly one sweep, sweep-local is the
+// experiment's task declaration index, the coordinate sharding and the run
+// service's structured errors speak.
 func (s *sweep) aggregate() error {
 	for _, agg := range s.aggs {
 		if err := agg.fn(s.recs[agg.start:agg.end]); err != nil {
+			var te *TrialError
+			if errors.As(err, &te) {
+				for i := range te.Failed {
+					te.Failed[i] += agg.start
+				}
+			}
 			return err
 		}
 	}

@@ -76,6 +76,29 @@ func TestSchedulerAggregatesAllTrialErrors(t *testing.T) {
 	}
 }
 
+// TestTrialErrorIndicesAreSweepLocal pins the coordinate system of
+// TrialError.Failed: indices are sweep-local (equal to the experiment's task
+// declaration indices), not point-local — the failing point here starts at
+// offset 2, so its local failures [0 1 2] surface as [2 3 4]. Sharded merges
+// and the run service's structured errors both rely on this frame.
+func TestTrialErrorIndicesAreSweepLocal(t *testing.T) {
+	bad := func(seed uint64) radio.Config { return radio.Config{} } // nil network: invalid
+	sw := newSweep(Config{Workers: 2})
+	sw.point(2, testTrialConfig, func(trialOutcome) {})
+	sw.point(3, bad, func(trialOutcome) {})
+	err := sw.run()
+	if err == nil {
+		t.Fatal("invalid config error not propagated")
+	}
+	var te *TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TrialError: %v", err, err)
+	}
+	if len(te.Failed) != 3 || te.Failed[0] != 2 || te.Failed[1] != 3 || te.Failed[2] != 4 {
+		t.Fatalf("failed task indices = %v, want sweep-local [2 3 4]", te.Failed)
+	}
+}
+
 func TestSchedulerCensoredCounting(t *testing.T) {
 	// One round is never enough to cross a 24-node path, so every trial is
 	// censored at its budget.

@@ -26,6 +26,15 @@
 //	    On a function: the function is an allocation-free hot path pinned by
 //	    the named testing.AllocsPerRun gate in the package's tests. See
 //	    noalloc.go.
+//	//dglint:service <reason>
+//	    In a package documentation comment: the package is service code — a
+//	    long-lived daemon or its run-lifecycle core — not simulation code.
+//	    Analyzers marked SimulationOnly (detrand) skip the package: a daemon
+//	    legitimately reads the wall clock for timestamps and serves map-backed
+//	    state over JSON (encoding/json sorts map keys). The reason is
+//	    mandatory, the directive only takes effect in the package doc comment,
+//	    and all other analyzers (view lifetime, scratch reset, noalloc) still
+//	    apply.
 package lint
 
 import (
@@ -48,6 +57,13 @@ type Analyzer struct {
 	// determinism contract binds simulation code, not the CLI front ends
 	// (dgbench legitimately reads the wall clock for progress output).
 	InternalOnly bool
+	// SimulationOnly further restricts the analyzer to simulation packages:
+	// an internal package whose package documentation carries a
+	// //dglint:service <reason> directive is service code (run lifecycle,
+	// daemons) and is skipped. Unlike InternalOnly this scope is opt-out, and
+	// the opt-out is visible in the package's own doc comment with a
+	// mandatory reason.
+	SimulationOnly bool
 	// Run executes the analyzer over one package.
 	Run func(*Pass)
 }
@@ -113,6 +129,7 @@ const (
 	dirAllow   = "allow"
 	dirPooled  = "pooled"
 	dirNoalloc = "noalloc"
+	dirService = "service"
 )
 
 // directive is one parsed //dglint: comment.
@@ -228,6 +245,17 @@ func collectAllows(fset *token.FileSet, files []*ast.File, ai allowIndex, report
 					ai.add(pos.Filename, line, analyzer)
 				case dirPooled, dirNoalloc:
 					// Validated by their analyzers.
+				case dirService:
+					// Validated by servicePackage; here only placement is
+					// checked — a service directive buried on a declaration
+					// would silently do nothing, so it is a finding.
+					if g != f.Doc {
+						report(Diagnostic{
+							Analyzer: "dglint",
+							Pos:      pos,
+							Message:  "//dglint:service applies only in the package documentation comment",
+						})
+					}
 				default:
 					report(Diagnostic{
 						Analyzer: "dglint",
@@ -238,6 +266,30 @@ func collectAllows(fset *token.FileSet, files []*ast.File, ai allowIndex, report
 			}
 		}
 	}
+}
+
+// servicePackage reports whether the package opts out of SimulationOnly
+// analyzers via a //dglint:service directive in a package documentation
+// comment. A directive without a reason is malformed — it does not grant the
+// exemption and is itself reported.
+func servicePackage(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) bool {
+	service := false
+	for _, f := range files {
+		d, ok := findDirective(dirService, f.Doc)
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(d.args) == "" {
+			report(Diagnostic{
+				Analyzer: "dglint",
+				Pos:      fset.Position(d.pos),
+				Message:  `malformed //dglint:service: want "//dglint:service <reason>"`,
+			})
+			continue
+		}
+		service = true
+	}
+	return service
 }
 
 // linesWithCode reports which lines of the file contain non-comment tokens,

@@ -36,7 +36,13 @@ var DetRand = &Analyzer{
 	Name:         "detrand",
 	Doc:          "forbid math/rand, time.Now and unsorted map iteration in simulation packages",
 	InternalOnly: true,
-	Run:          runDetRand,
+	// Service packages (//dglint:service) are exempt: a daemon's run
+	// lifecycle legitimately timestamps events with the wall clock and
+	// serves map-backed state over JSON. The simulation gates stay intact —
+	// the exemption is per package, declared in its doc comment with a
+	// mandatory reason.
+	SimulationOnly: true,
+	Run:            runDetRand,
 }
 
 func runDetRand(pass *Pass) {

@@ -25,6 +25,19 @@ func AnalyzerByName(name string) *Analyzer {
 // directives are themselves reported. InternalOnly filtering is the caller's
 // job (Run applies it; fixture tests bypass it deliberately).
 func Check(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
+	var kept []Diagnostic
+	// Service packages (//dglint:service in the package doc) opt out of the
+	// SimulationOnly analyzers; malformed directives are reported and grant
+	// nothing.
+	if servicePackage(loader.Fset, pkg.Files, func(d Diagnostic) { kept = append(kept, d) }) {
+		sel := make([]*Analyzer, 0, len(analyzers))
+		for _, a := range analyzers {
+			if !a.SimulationOnly {
+				sel = append(sel, a)
+			}
+		}
+		analyzers = sel
+	}
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -40,7 +53,6 @@ func Check(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 	}
 	ai := make(allowIndex)
-	var kept []Diagnostic
 	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
 	collectAllows(loader.Fset, files, ai, func(d Diagnostic) { kept = append(kept, d) })
 	for _, d := range raw {

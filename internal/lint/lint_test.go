@@ -26,3 +26,17 @@ func TestScratchResetFixture(t *testing.T) {
 func TestNoAllocFixture(t *testing.T) {
 	linttest.Run(t, "testdata/src/noalloc", lint.NoAlloc)
 }
+
+// TestServiceScopeFixture covers the //dglint:service package directive: a
+// well-formed directive in the package doc silences detrand entirely (the
+// fixture reads the wall clock and folds a map with zero want comments).
+func TestServiceScopeFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/servicepkg", lint.DetRand)
+}
+
+// TestServiceScopeMalformed pins the failure modes: a reasonless directive
+// and a directive outside the package doc are both findings, and neither
+// grants the exemption — the detrand sites in the fixture still fire.
+func TestServiceScopeMalformed(t *testing.T) {
+	linttest.Run(t, "testdata/src/servicebad", lint.DetRand)
+}

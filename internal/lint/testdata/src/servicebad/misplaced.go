@@ -1,0 +1,12 @@
+package servicebad
+
+import "time"
+
+// A service directive outside the package documentation comment is inert by
+// design (the scope is a package property, not a per-site escape hatch);
+// burying one on a declaration is reported rather than silently ignored.
+//
+//dglint:service on a function, where it does nothing // want `applies only in the package documentation comment`
+func misplaced() time.Duration {
+	return time.Since(time.Time{}) // want `time.Since in simulation code`
+}

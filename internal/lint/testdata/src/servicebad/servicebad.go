@@ -1,0 +1,12 @@
+// Package servicebad claims service scope without the mandatory reason: the
+// malformed directive is itself a finding and grants no exemption, so the
+// detrand sites below still fire.
+//
+//dglint:service // want `malformed //dglint:service`
+package servicebad
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want `time.Now in simulation code`
+}

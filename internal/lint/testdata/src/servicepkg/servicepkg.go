@@ -1,0 +1,27 @@
+// Package servicepkg models a service package: a long-lived daemon's run
+// lifecycle whose wall-clock timestamps and map-backed JSON state are the
+// product, not determinism poison. The directive below exempts the package
+// from SimulationOnly analyzers (detrand); every site in this file would be
+// a finding without it.
+//
+//dglint:service daemon run lifecycle: wall-clock timestamps and served maps are the product
+package servicepkg
+
+import "time"
+
+type registry struct {
+	runs map[string]int
+}
+
+// Snapshot reads the wall clock and folds a map in iteration order — both
+// forbidden in simulation code, both the daily business of a daemon.
+func (r *registry) Snapshot() (int, time.Time) {
+	total := 0
+	var last string
+	for id, n := range r.runs {
+		total += n
+		last = id // order-dependent store, fine under service scope
+	}
+	_ = last
+	return total, time.Now()
+}

@@ -1,0 +1,89 @@
+// Package report renders experiment results for human and machine
+// consumption — the one formatting path shared by every surface that prints
+// a run. dgbench and dgserved both delegate here, which is what makes the
+// service's result endpoint byte-identical to `dgbench -all -markdown`: the
+// invariant is structural (same code), not a convention two copies of the
+// formatting logic have to keep honoring.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+// Options selects the output format for one experiment result. The zero
+// value is the default text format.
+type Options struct {
+	Markdown bool
+	CSV      bool
+	Plot     bool
+	// Elapsed is printed in the default format when non-zero; batch modes
+	// (-all, -merge, service results) omit it because experiments overlap on
+	// the shared pool — and so the output stays byte-identical across worker
+	// counts, shardings, and cache states.
+	Elapsed time.Duration
+}
+
+// Result renders one experiment result in the selected format.
+func Result(w io.Writer, res *experiments.Result, opts Options) {
+	switch {
+	case opts.Markdown:
+		fmt.Fprintf(w, "### %s — %s\n\n", res.ID, res.Title)
+		fmt.Fprintf(w, "Paper claim: %s\n\n```\n%s```\n\n", res.PaperClaim, res.Table)
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "- %s\n", n)
+		}
+		fmt.Fprintf(w, "\n")
+	case opts.CSV:
+		fmt.Fprintf(w, "# %s (%s)\n%s\n", res.ID, res.PaperClaim, res.Table.CSV())
+	default:
+		if opts.Elapsed > 0 {
+			fmt.Fprintf(w, "=== %s — %s  [%v]\n", res.ID, res.Title, opts.Elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(w, "=== %s — %s\n", res.ID, res.Title)
+		}
+		fmt.Fprintf(w, "paper claim: %s\n\n%s\n", res.PaperClaim, res.Table)
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+		if opts.Plot && len(res.Series) > 0 {
+			p := viz.NewPlot(56, 12)
+			p.LogX, p.LogY = true, true
+			for _, s := range res.Series {
+				p.Add(viz.Series{Name: s.Name, X: s.X, Y: s.Y})
+			}
+			fmt.Fprintf(w, "\nscaling (log-log):\n%s", p.Render())
+		}
+		fmt.Fprintf(w, "\n")
+	}
+}
+
+// Summary prints the run's verdict line and converts deviations into the
+// caller's exit error, identically for every mode — which is what keeps
+// merged, cached, and single-machine outputs byte-for-byte equal.
+func Summary(w io.Writer, ran, failed int) error {
+	fmt.Fprintf(w, "%d experiments run, %d matched the paper's claims, %d deviated\n", ran, ran-failed, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d experiments deviated from the paper's claims", failed)
+	}
+	return nil
+}
+
+// Render writes the full multi-result report — every result in order, then
+// the summary line — returning the deviation error Summary computes. This is
+// the whole body of a service result response and of `dgbench -all` output
+// minus the pool diagnostics line.
+func Render(w io.Writer, results []*experiments.Result, opts Options) error {
+	failed := 0
+	for _, res := range results {
+		if !res.Pass {
+			failed++
+		}
+		Result(w, res, opts)
+	}
+	return Summary(w, len(results), failed)
+}

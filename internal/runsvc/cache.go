@@ -1,0 +1,94 @@
+package runsvc
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/shard"
+)
+
+// Cache is the content-addressed result store: one file per
+// (ExperimentKey → single-experiment shard artifact). Reusing the artifact
+// schema buys the cache its validation for free — an entry is a shard 1/1
+// whose records must tile its one-experiment plan exactly — and makes every
+// entry readable by the same tooling that reads distributed-run shards.
+//
+// A nil *Cache is a valid always-miss cache, so callers never branch on
+// whether caching is configured.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry under key and validates it against the run the caller
+// is assembling: schema version, full artifact validation, complete tiling
+// of the one-experiment plan, and header equality with (cfg, p). Any
+// mismatch — including a corrupt or truncated file — is a miss, never an
+// error: the caller re-executes and overwrites.
+func (c *Cache) Get(key string, cfg experiments.Config, p shard.ExperimentPlan) ([]shard.TaskRecord, bool) {
+	if c == nil {
+		return nil, false
+	}
+	a, err := shard.Read(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	m, err := shard.Merge([]*shard.Artifact{a})
+	if err != nil {
+		return nil, false
+	}
+	if m.BaseSeed != cfg.BaseSeed || m.Quick != cfg.Quick || m.Trials != cfg.EffectiveTrials() {
+		return nil, false
+	}
+	if len(m.Plan) != 1 || m.Plan[0] != p {
+		return nil, false
+	}
+	return m.Records(p.ID), true
+}
+
+// Put stores one experiment's complete record set under key, written as a
+// canonical artifact (records sorted, so equal runs produce byte-identical
+// entries) via a temp file + rename, so a crashed writer never leaves a
+// half-entry a later Get could misread as a miss-shaped error.
+func (c *Cache) Put(key string, cfg experiments.Config, p shard.ExperimentPlan, recs []shard.TaskRecord) error {
+	if c == nil {
+		return nil
+	}
+	a := &shard.Artifact{
+		Version:  shard.SchemaVersion,
+		Shard:    1,
+		Shards:   1,
+		BaseSeed: cfg.BaseSeed,
+		Quick:    cfg.Quick,
+		Trials:   cfg.EffectiveTrials(),
+		Plan:     []shard.ExperimentPlan{p},
+		Records:  recs,
+	}
+	f, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	f.Close()
+	if err := shard.Write(tmp, a); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

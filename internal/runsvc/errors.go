@@ -1,0 +1,76 @@
+package runsvc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentError is one experiment's structured failure inside a run: the
+// experiment, the per-experiment task indices that failed (when the failure
+// was trial-level), and the underlying error.
+type ExperimentError struct {
+	ID    string
+	Tasks []int
+	Err   error
+}
+
+func (e *ExperimentError) Error() string {
+	if len(e.Tasks) > 0 {
+		return fmt.Sprintf("%s (tasks %v): %v", e.ID, e.Tasks, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.ID, e.Err)
+}
+
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// RunError aggregates every failed experiment of a run. A partial failure
+// keeps its full context — which experiments failed, at which task indices —
+// instead of collapsing to the first error observed.
+type RunError struct {
+	Experiments []*ExperimentError
+}
+
+func (e *RunError) Error() string {
+	if len(e.Experiments) == 1 {
+		return e.Experiments[0].Error()
+	}
+	parts := make([]string, len(e.Experiments))
+	for i, ee := range e.Experiments {
+		parts[i] = ee.Error()
+	}
+	return fmt.Sprintf("%d experiments failed: %s", len(e.Experiments), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the per-experiment errors for errors.Is/As.
+func (e *RunError) Unwrap() []error {
+	out := make([]error, len(e.Experiments))
+	for i, ee := range e.Experiments {
+		out[i] = ee
+	}
+	return out
+}
+
+// newRunError structures the merge phase's aligned error slice: every
+// failed experiment is captured, and a *experiments.TrialError contributes
+// its per-experiment task indices. Returns nil when nothing failed.
+func newRunError(exps []experiments.Experiment, errs []error) *RunError {
+	var out []*ExperimentError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		ee := &ExperimentError{ID: exps[i].ID, Err: err}
+		var te *experiments.TrialError
+		if errors.As(err, &te) {
+			ee.Tasks = append([]int(nil), te.Failed...)
+		}
+		out = append(out, ee)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return &RunError{Experiments: out}
+}

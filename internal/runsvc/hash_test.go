@@ -1,0 +1,143 @@
+package runsvc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+)
+
+func goldenCfg() experiments.Config {
+	return experiments.Config{Quick: true, Trials: 2, BaseSeed: 7}
+}
+
+func goldenPlan() []shard.ExperimentPlan {
+	return []shard.ExperimentPlan{
+		{ID: "CHURN-broadcast", Tasks: 4},
+		{ID: "L3.2-hitting", Tasks: 6},
+	}
+}
+
+// TestContentHashesGolden pins the content hashes to literal values: the
+// hashes are cache keys and run identities shared across processes and
+// machines, so they must be bit-stable across compilations, worker counts,
+// and platforms. If this test fails, the canonical payload changed — bump
+// CacheSchemaVersion and regenerate, because every existing cache entry and
+// run identity just became invalid.
+func TestContentHashesGolden(t *testing.T) {
+	cfg, plan := goldenCfg(), goldenPlan()
+	if got, want := RunKey(cfg, plan, nil), "4b66ba8fbd4b952a1a28976d4c6278ccb60c0e021ca27c47b2205cdec569211e"; got != want {
+		t.Errorf("RunKey = %s, want %s", got, want)
+	}
+	if got, want := ExperimentKey(cfg, plan[0]), "1d269d2315d17b8b65585122982a512f8ff9a727367e3bae7c429b8cc31a7cdf"; got != want {
+		t.Errorf("ExperimentKey[0] = %s, want %s", got, want)
+	}
+	if got, want := ExperimentKey(cfg, plan[1]), "3e57fe632f3aace5ec7f579f05681b069ebae57e6a1f26339dc0193657665045"; got != want {
+		t.Errorf("ExperimentKey[1] = %s, want %s", got, want)
+	}
+	sc := ScenarioSpec{Side: 3, Seed: 11, Gen: scenario.GenConfig{Epochs: 1, EpochLen: 10, Leaves: 1}}
+	if got, want := ScenarioID(sc), "CUSTOM-churn-e8449dbf5366"; got != want {
+		t.Errorf("ScenarioID = %s, want %s", got, want)
+	}
+}
+
+// TestRunKeyIgnoresWorkers: the worker count changes wall clock, never
+// output, so it must not fragment run identities.
+func TestRunKeyIgnoresWorkers(t *testing.T) {
+	cfg, plan := goldenCfg(), goldenPlan()
+	a := RunKey(cfg, plan, nil)
+	cfg.Workers = 8
+	if b := RunKey(cfg, plan, nil); a != b {
+		t.Fatalf("RunKey depends on Workers: %s vs %s", a, b)
+	}
+}
+
+// TestRunKeyNormalizesTrials: Trials 0 and the explicit scale default spell
+// the same run.
+func TestRunKeyNormalizesTrials(t *testing.T) {
+	plan := goldenPlan()
+	implicit := experiments.Config{Quick: true}
+	explicit := experiments.Config{Quick: true, Trials: 5}
+	if RunKey(implicit, plan, nil) != RunKey(explicit, plan, nil) {
+		t.Fatal("Trials:0 and the explicit quick default produce different run keys")
+	}
+	if ExperimentKey(implicit, plan[0]) != ExperimentKey(explicit, plan[0]) {
+		t.Fatal("Trials:0 and the explicit quick default produce different experiment keys")
+	}
+}
+
+// TestRunKeySensitivity: every output-affecting input must move the run key.
+func TestRunKeySensitivity(t *testing.T) {
+	cfg, plan := goldenCfg(), goldenPlan()
+	base := RunKey(cfg, plan, nil)
+
+	seeded := cfg
+	seeded.BaseSeed++
+	if RunKey(seeded, plan, nil) == base {
+		t.Error("run key ignores the seed")
+	}
+	full := cfg
+	full.Quick = false
+	if RunKey(full, plan, nil) == base {
+		t.Error("run key ignores the scale")
+	}
+	grown := goldenPlan()
+	grown[1].Tasks++
+	if RunKey(cfg, grown, nil) == base {
+		t.Error("run key ignores the plan")
+	}
+	sc := &ScenarioSpec{Side: 3, Gen: scenario.GenConfig{Epochs: 1, EpochLen: 10}}
+	if RunKey(cfg, plan, sc) == base {
+		t.Error("run key ignores the scenario")
+	}
+}
+
+// TestExperimentKeyIsolation: an experiment's cache key depends only on its
+// own plan row and the seeding configuration — changing another experiment's
+// spec (or dropping it from the run entirely) must leave the key untouched,
+// which is exactly what lets overlapping submissions share entries. Changing
+// the experiment's own row, the seed, or the scale must change it.
+func TestExperimentKeyIsolation(t *testing.T) {
+	cfg, plan := goldenCfg(), goldenPlan()
+	key0, key1 := ExperimentKey(cfg, plan[0]), ExperimentKey(cfg, plan[1])
+
+	grown := goldenPlan()
+	grown[1].Tasks++
+	if ExperimentKey(cfg, grown[0]) != key0 {
+		t.Error("experiment 0's key moved when experiment 1's plan changed")
+	}
+	if ExperimentKey(cfg, grown[1]) == key1 {
+		t.Error("experiment 1's key ignores its own task count")
+	}
+	seeded := cfg
+	seeded.BaseSeed++
+	if ExperimentKey(seeded, plan[0]) == key0 {
+		t.Error("experiment key ignores the seed")
+	}
+	full := cfg
+	full.Quick = false
+	if ExperimentKey(full, plan[0]) == key0 {
+		t.Error("experiment key ignores the scale")
+	}
+}
+
+// TestScenarioIDDistinct: distinct scenario specs get distinct experiment
+// IDs (they must never collide in the cache), equal specs get equal IDs, and
+// the ID carries the CUSTOM prefix that keeps it out of the registry's
+// namespace.
+func TestScenarioIDDistinct(t *testing.T) {
+	a := ScenarioSpec{Side: 3, Seed: 11, Gen: scenario.GenConfig{Epochs: 1, EpochLen: 10}}
+	b := a
+	b.Gen.Leaves = 2
+	if ScenarioID(a) == ScenarioID(b) {
+		t.Error("distinct scenario specs share an ID")
+	}
+	if ScenarioID(a) != ScenarioID(a) {
+		t.Error("equal scenario specs differ in ID")
+	}
+	if !strings.HasPrefix(ScenarioID(a), "CUSTOM-churn-") {
+		t.Errorf("scenario ID %q lacks the CUSTOM-churn- prefix", ScenarioID(a))
+	}
+}

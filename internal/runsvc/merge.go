@@ -1,0 +1,36 @@
+package runsvc
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/shard"
+)
+
+// The distributed-run façade: dgbench's -shard and -merge modes go through
+// these so the command carries no lifecycle logic of its own — the engine's
+// plan/execute/merge is reached from exactly one package.
+
+// ExecuteShardSpec runs shard index (1-based) of count over the selection
+// and returns the artifact to write.
+func ExecuteShardSpec(cfg experiments.Config, exps []experiments.Experiment, index, count int) (*shard.Artifact, error) {
+	return experiments.ExecuteShard(cfg, exps, index, count)
+}
+
+// MergeArtifacts validates that the artifacts tile one run's plan, replays
+// the aggregation, and returns results aligned with the plan's experiments.
+// Experiment failures come back as a structured *RunError carrying every
+// failed experiment and its task indices.
+func MergeArtifacts(arts []*shard.Artifact) ([]*experiments.Result, []experiments.Experiment, error) {
+	m, err := shard.Merge(arts)
+	if err != nil {
+		return nil, nil, err
+	}
+	exps, err := experiments.MergedExperiments(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, errs := experiments.RunMerged(experiments.ConfigFromMerged(m), exps, m)
+	if rerr := newRunError(exps, errs); rerr != nil {
+		return nil, exps, rerr
+	}
+	return results, exps, nil
+}

@@ -1,0 +1,38 @@
+package runsvc
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/shard"
+)
+
+// Runner abstracts the three phases of the deterministic run lifecycle the
+// service drives. Production code uses EngineRunner; tests wrap it to count
+// executed tasks or inject failures without touching the engine.
+type Runner interface {
+	// Plan enumerates the task plan for the selection under cfg.
+	Plan(cfg experiments.Config, exps []experiments.Experiment) ([]shard.ExperimentPlan, error)
+	// Execute runs shard index/count of the selection's tasks and returns
+	// the raw records as an artifact. The service always executes 1/1 — the
+	// whole delta in one shard — but the signature keeps the engine's
+	// contract intact.
+	Execute(cfg experiments.Config, exps []experiments.Experiment, index, count int) (*shard.Artifact, error)
+	// Merge replays aggregation over reassembled records, producing results
+	// and errors aligned with exps.
+	Merge(cfg experiments.Config, exps []experiments.Experiment, m *shard.Merged) ([]*experiments.Result, []error)
+}
+
+// EngineRunner is the production Runner: a direct delegation to
+// internal/experiments' sharded lifecycle.
+type EngineRunner struct{}
+
+func (EngineRunner) Plan(cfg experiments.Config, exps []experiments.Experiment) ([]shard.ExperimentPlan, error) {
+	return experiments.PlanTasks(cfg, exps)
+}
+
+func (EngineRunner) Execute(cfg experiments.Config, exps []experiments.Experiment, index, count int) (*shard.Artifact, error) {
+	return experiments.ExecuteShard(cfg, exps, index, count)
+}
+
+func (EngineRunner) Merge(cfg experiments.Config, exps []experiments.Experiment, m *shard.Merged) ([]*experiments.Result, []error) {
+	return experiments.RunMerged(cfg, exps, m)
+}

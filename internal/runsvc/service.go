@@ -1,0 +1,254 @@
+package runsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/shard"
+)
+
+// Options configures a Service. The zero value is usable: engine runner,
+// full registry, no cache, a small in-flight bound.
+type Options struct {
+	// Runner drives the lifecycle phases; nil means EngineRunner.
+	Runner Runner
+	// Catalog is the experiment registry submissions resolve against; nil
+	// means experiments.All().
+	Catalog []experiments.Experiment
+	// CacheDir, when non-empty, enables the content-addressed result cache.
+	CacheDir string
+	// MaxInFlight bounds concurrently executing runs (default 2).
+	// Submissions beyond the bound queue; they are never rejected.
+	MaxInFlight int
+}
+
+// Service owns the run lifecycle: it resolves specs, derives content-hash
+// identities, deduplicates submissions, partitions plans against the cache,
+// executes deltas, and merges. One Service instance backs both frontends.
+type Service struct {
+	runner  Runner
+	catalog []experiments.Experiment
+	cache   *Cache
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []string
+	plans  map[string][]shard.ExperimentPlan
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a Service.
+func New(opts Options) (*Service, error) {
+	runner := opts.Runner
+	if runner == nil {
+		runner = EngineRunner{}
+	}
+	catalog := opts.Catalog
+	if catalog == nil {
+		catalog = experiments.All()
+	}
+	var cache *Cache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = OpenCache(opts.CacheDir); err != nil {
+			return nil, fmt.Errorf("runsvc: opening cache: %w", err)
+		}
+	}
+	inflight := opts.MaxInFlight
+	if inflight < 1 {
+		inflight = 2
+	}
+	return &Service{
+		runner:  runner,
+		catalog: catalog,
+		cache:   cache,
+		sem:     make(chan struct{}, inflight),
+		runs:    map[string]*Run{},
+		plans:   map[string][]shard.ExperimentPlan{},
+	}, nil
+}
+
+// Catalog returns the experiments submissions resolve against.
+func (s *Service) Catalog() []experiments.Experiment {
+	return append([]experiments.Experiment(nil), s.catalog...)
+}
+
+// Submit validates and normalizes the spec, computes the run's content-hash
+// identity, and either returns the existing run under that identity
+// (existing=true — the submission is a duplicate down to its output bytes)
+// or starts a new one. Plan enumeration happens synchronously so the
+// identity is known at return; plans are memoized per normalized selection.
+func (s *Service) Submit(spec Spec) (run *Run, existing bool, err error) {
+	rs, err := resolveSpec(spec, s.catalog)
+	if err != nil {
+		return nil, false, err
+	}
+	plan, err := s.planFor(rs)
+	if err != nil {
+		return nil, false, err
+	}
+	id := RunKey(rs.cfg, plan, rs.spec.Scenario)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, errors.New("runsvc: service is shut down")
+	}
+	if r, ok := s.runs[id]; ok {
+		s.mu.Unlock()
+		return r, true, nil
+	}
+	statuses := make([]ExperimentStatus, len(plan))
+	for i, p := range plan {
+		statuses[i] = ExperimentStatus{ID: p.ID, Tasks: p.Tasks, Key: ExperimentKey(rs.cfg, p)}
+	}
+	r := newRun(id, rs.spec, statuses)
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.execute(r, rs, plan)
+	return r, false, nil
+}
+
+// planFor returns the selection's task plan, memoized by normalized spec
+// (seed and workers zeroed — they never change the plan). Plan enumeration
+// runs every experiment's declaration code, which builds the sweep networks;
+// memoizing it keeps repeat submissions cheap.
+func (s *Service) planFor(rs resolved) ([]shard.ExperimentPlan, error) {
+	key := specKey(rs.spec)
+	s.mu.Lock()
+	plan, ok := s.plans[key]
+	s.mu.Unlock()
+	if ok {
+		return plan, nil
+	}
+	plan, err := s.runner.Plan(rs.cfg, rs.exps)
+	if err != nil {
+		return nil, fmt.Errorf("runsvc: planning: %w", err)
+	}
+	s.mu.Lock()
+	s.plans[key] = plan
+	s.mu.Unlock()
+	return plan, nil
+}
+
+// execute drives one run through the lifecycle on its own goroutine,
+// bounded by the in-flight semaphore.
+func (s *Service) execute(r *Run, rs resolved, plan []shard.ExperimentPlan) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	total := 0
+	for _, p := range plan {
+		total += p.Tasks
+	}
+	r.post(StatePlanning, fmt.Sprintf("plan: %d experiments, %d tasks", len(plan), total))
+
+	// Partition the plan against the cache: records for every hit, the
+	// experiment delta for everything else.
+	var (
+		missing     []experiments.Experiment
+		missingPlan []shard.ExperimentPlan
+		records     []shard.TaskRecord
+		cachedTasks int
+	)
+	for i, p := range plan {
+		if recs, ok := s.cache.Get(ExperimentKey(rs.cfg, p), rs.cfg, p); ok {
+			records = append(records, recs...)
+			r.setSource(p.ID, "cache")
+			cachedTasks += len(recs)
+			continue
+		}
+		missing = append(missing, rs.exps[i])
+		missingPlan = append(missingPlan, p)
+	}
+	r.addCached(cachedTasks)
+	r.post(StateExecuting, fmt.Sprintf("cache: %d of %d tasks served; executing %d experiments", cachedTasks, total, len(missing)))
+
+	if len(missing) > 0 {
+		art, err := s.runner.Execute(rs.cfg, missing, 1, 1)
+		if err != nil {
+			r.finish(nil, fmt.Errorf("runsvc: executing: %w", err))
+			return
+		}
+		byExp := make(map[string][]shard.TaskRecord, len(missingPlan))
+		for _, rec := range art.Records {
+			byExp[rec.Exp] = append(byExp[rec.Exp], rec)
+		}
+		for _, p := range missingPlan {
+			if err := s.cache.Put(ExperimentKey(rs.cfg, p), rs.cfg, p, byExp[p.ID]); err != nil {
+				// A failed write degrades the next run to a cold one; this
+				// run's records are already in hand.
+				r.post("", fmt.Sprintf("cache write failed for %s: %v", p.ID, err))
+			}
+			r.setSource(p.ID, "executed")
+		}
+		r.addExecuted(len(art.Records))
+		records = append(records, art.Records...)
+	}
+
+	// Reassemble cached and fresh records into one validated merge — the
+	// same validation shard files get — and replay aggregation.
+	m, err := shard.NewMerged(rs.cfg.BaseSeed, rs.cfg.Quick, rs.cfg.EffectiveTrials(), plan, records)
+	if err != nil {
+		r.finish(nil, fmt.Errorf("runsvc: reassembling records: %w", err))
+		return
+	}
+	results, errs := s.runner.Merge(rs.cfg, rs.exps, m)
+	if rerr := newRunError(rs.exps, errs); rerr != nil {
+		r.finish(nil, rerr)
+		return
+	}
+	r.finish(results, nil)
+}
+
+// Get returns the run with the given identity.
+func (s *Service) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// Runs snapshots every run in submission order.
+func (s *Service) Runs() []RunStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	runs := make([]*Run, len(ids))
+	for i, id := range ids {
+		runs[i] = s.runs[id]
+	}
+	s.mu.Unlock()
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.Status()
+	}
+	return out
+}
+
+// RunSync submits and waits: the in-process frontend's path. The returned
+// error is the submission or run failure; results come from run.Results.
+func (s *Service) RunSync(spec Spec) (*Run, error) {
+	r, _, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	<-r.Done()
+	return r, r.Err()
+}
+
+// Close stops accepting submissions and waits for in-flight runs to reach
+// terminal states.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -223,6 +223,38 @@ type GenConfig struct {
 	MaxRounds int
 }
 
+// Validate checks the config against an n-node base network without
+// generating anything: epoch geometry, the storm healing budget, and node
+// references. It is the static half of Generate's contract, exposed so a
+// serialized GenConfig (a service submission, a replayed spec file) can be
+// rejected with a precise error before any graph is built.
+func (cfg GenConfig) Validate(n int) error {
+	if cfg.Epochs < 0 || cfg.EpochLen <= 0 {
+		return fmt.Errorf("scenario: need EpochLen > 0 (got %d) and Epochs >= 0 (got %d)", cfg.EpochLen, cfg.Epochs)
+	}
+	// Storms are documented as transient: each batch clears one epoch later,
+	// with the healing epoch (start (Epochs+1)*EpochLen) clearing the last.
+	// If the round budget ends before the healing epoch begins, the final
+	// epoch's storm fringe silently persists to the end of the run — the
+	// caller gets a permanently degraded topology it believes is transient.
+	// Refuse the config instead of dropping the contract.
+	if cfg.Storms > 0 && cfg.MaxRounds > 0 && cfg.Epochs > 0 && (cfg.Epochs+1)*cfg.EpochLen >= cfg.MaxRounds {
+		return fmt.Errorf("%w: scenario: healing epoch starts at round %d, at or beyond the %d-round budget — the final storm batch would never clear",
+			radio.ErrBadConfig, (cfg.Epochs+1)*cfg.EpochLen, cfg.MaxRounds)
+	}
+	for _, u := range cfg.Protected {
+		if u < 0 || u >= n {
+			return fmt.Errorf("scenario: protected node %d out of range [0,%d)", u, n)
+		}
+	}
+	for _, u := range cfg.InjectSources {
+		if u < 0 || u >= n {
+			return fmt.Errorf("scenario: injection source %d out of range [0,%d)", u, n)
+		}
+	}
+	return nil
+}
+
 // Generate draws a deterministic scenario from the source: the same base,
 // source state, and config always produce the same timeline. Node and edge
 // choices are sampled from the evolving topology itself (a node that left
@@ -232,31 +264,15 @@ func Generate(base *graph.Dual, src *bitrand.Source, cfg GenConfig) (Scenario, e
 	if base == nil {
 		return Scenario{}, fmt.Errorf("scenario: nil base network")
 	}
-	if cfg.Epochs < 0 || cfg.EpochLen <= 0 {
-		return Scenario{}, fmt.Errorf("scenario: need EpochLen > 0 (got %d) and Epochs >= 0 (got %d)", cfg.EpochLen, cfg.Epochs)
-	}
-	// Storms are documented as transient: each batch clears one epoch later,
-	// with the healing epoch (start (Epochs+1)*EpochLen) clearing the last.
-	// If the round budget ends before the healing epoch begins, the final
-	// epoch's storm fringe silently persists to the end of the run — the
-	// caller gets a permanently degraded topology it believes is transient.
-	// Refuse the config instead of dropping the contract.
-	if cfg.Storms > 0 && cfg.MaxRounds > 0 && cfg.Epochs > 0 && (cfg.Epochs+1)*cfg.EpochLen >= cfg.MaxRounds {
-		return Scenario{}, fmt.Errorf("%w: scenario: healing epoch starts at round %d, at or beyond the %d-round budget — the final storm batch would never clear",
-			radio.ErrBadConfig, (cfg.Epochs+1)*cfg.EpochLen, cfg.MaxRounds)
-	}
 	n := base.N()
+	if err := cfg.Validate(n); err != nil {
+		return Scenario{}, err
+	}
 	protected := make([]bool, n)
 	for _, u := range cfg.Protected {
-		if u < 0 || u >= n {
-			return Scenario{}, fmt.Errorf("scenario: protected node %d out of range [0,%d)", u, n)
-		}
 		protected[u] = true
 	}
 	for _, u := range cfg.InjectSources {
-		if u < 0 || u >= n {
-			return Scenario{}, fmt.Errorf("scenario: injection source %d out of range [0,%d)", u, n)
-		}
 		protected[u] = true
 	}
 

@@ -179,6 +179,26 @@ func (m *Merged) Records(exp string) []TaskRecord {
 	return m.records[exp]
 }
 
+// NewMerged assembles a Merged directly from one complete in-memory record
+// set — the path the run service takes when it stitches cache-served
+// per-experiment records together with freshly executed ones, with no shard
+// files on disk. The records must tile the plan exactly (every planned task
+// index covered once, full artifact validation applies); the result is
+// indistinguishable from merging a single shard 1/1 artifact, because that
+// is literally what it does.
+func NewMerged(baseSeed uint64, quick bool, trials int, plan []ExperimentPlan, records []TaskRecord) (*Merged, error) {
+	return Merge([]*Artifact{{
+		Version:  SchemaVersion,
+		Shard:    1,
+		Shards:   1,
+		BaseSeed: baseSeed,
+		Quick:    quick,
+		Trials:   trials,
+		Plan:     plan,
+		Records:  records,
+	}})
+}
+
 // Merge validates a set of shard artifacts against each other and
 // reassembles the full task-record set. It requires: at least one artifact,
 // all at SchemaVersion; identical headers (shard count, base seed, quick
